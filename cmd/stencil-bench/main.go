@@ -1,0 +1,180 @@
+// Command stencil-bench regenerates the tables and figures of the paper's
+// evaluation section (the per-experiment index is in DESIGN.md §3):
+//
+//	stencil-bench -exp table2   # Table II: training-phase costs
+//	stencil-bench -exp table3   # Table III: benchmark inventory
+//	stencil-bench -exp fig4     # Fig. 4: speedup vs GA-1024 base
+//	stencil-bench -exp fig5     # Fig. 5: GFlop/s vs evaluations + time-to-solution
+//	stencil-bench -exp fig6     # Fig. 6: per-instance Kendall tau
+//	stencil-bench -exp fig7     # Fig. 7: tau distribution across TS sizes
+//	stencil-bench -exp all
+//
+// Pass -csv DIR to additionally dump machine-readable results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/machine"
+	"repro/internal/perfmodel"
+	"repro/internal/report"
+	"repro/internal/trainer"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("stencil-bench: ")
+
+	exp := flag.String("exp", "all", "experiment: table1, table2, table3, fig4, fig5, fig6, fig7 or all")
+	seed := flag.Int64("seed", 1, "random seed (same seed reproduces the report)")
+	budget := flag.Int("budget", 1024, "search evaluation budget (the paper uses 1024)")
+	csvDir := flag.String("csv", "", "directory to write CSV result files (empty = none)")
+	htmlPath := flag.String("html", "", "write a standalone HTML report with SVG charts (requires -exp all)")
+	flag.Parse()
+
+	var htmlData report.Data
+
+	h := bench.New(perfmodel.New(machine.XeonE52680v3()), *seed)
+	h.Budget = *budget
+	// Final configurations are re-measured with an independent noise
+	// stream, as the paper's reported speedups are fresh measurements.
+	validator := perfmodel.New(machine.XeonE52680v3())
+	validator.Seed = 7777
+	h.Validator = validator
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	run := func(name string, f func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := f(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+	}
+
+	run("table1", func() error {
+		fmt.Println(bench.RenderTable1(h.Table1()))
+		return nil
+	})
+
+	run("table3", func() error {
+		fmt.Println(bench.RenderTable3())
+		return nil
+	})
+
+	run("table2", func() error {
+		rows, err := h.Table2(trainer.Table2Sizes())
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderTable2(rows))
+		htmlData.Table2 = rows
+		return writeCSV(*csvDir, "table2.csv", func(f *os.File) error {
+			return bench.WriteTable2CSV(f, rows)
+		})
+	})
+
+	run("fig4", func() error {
+		rows, err := h.Fig4()
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderFig4(rows, h.Fig4Sizes))
+		htmlData.Fig4 = rows
+		return writeCSV(*csvDir, "fig4.csv", func(f *os.File) error {
+			return bench.WriteFig4CSV(f, rows, h.Fig4Sizes)
+		})
+	})
+
+	run("fig5", func() error {
+		series, err := h.Fig5(nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderFig5(series, h.Fig4Sizes))
+		htmlData.Fig5 = series
+		return writeCSV(*csvDir, "fig5.csv", func(f *os.File) error {
+			return bench.WriteFig5CSV(f, series)
+		})
+	})
+
+	run("fig6", func() error {
+		res, err := h.Fig6(nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderFig6(res))
+		htmlData.Fig6 = &res
+		return writeCSV(*csvDir, "fig6.csv", func(f *os.File) error {
+			return bench.WriteFig6CSV(f, res)
+		})
+	})
+
+	run("fig7", func() error {
+		rows, err := h.Fig7(nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderFig7(rows))
+		htmlData.Fig7 = rows
+		return writeCSV(*csvDir, "fig7.csv", func(f *os.File) error {
+			return bench.WriteFig7CSV(f, rows)
+		})
+	})
+
+	switch *exp {
+	case "all", "table1", "table2", "table3", "fig4", "fig5", "fig6", "fig7":
+	default:
+		log.Fatalf("unknown experiment %q", *exp)
+	}
+
+	if *htmlPath != "" {
+		htmlData.Fig4Sizes = h.Fig4Sizes
+		htmlData.Generated = time.Now()
+		htmlData.MachineTag = "simulated " + machine.XeonE52680v3().Name
+		f, err := os.Create(*htmlPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := report.Write(f, htmlData); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *htmlPath)
+	}
+}
+
+// writeCSV writes one CSV file into dir (no-op when dir is empty).
+func writeCSV(dir, name string, write func(*os.File) error) error {
+	if dir == "" {
+		return nil
+	}
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

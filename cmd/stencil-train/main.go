@@ -1,0 +1,62 @@
+// Command stencil-train builds a training set per Section V-B of the paper
+// (60 generated stencil codes, 200 instances, random tuning vectors), trains
+// the ordinal-regression ranking model and saves it to disk.
+//
+// Usage:
+//
+//	stencil-train -points 3840 -seed 1 -out model.gob [-mode sim|measure]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	stenciltune "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("stencil-train: ")
+
+	points := flag.Int("points", 3840, "training-set size (Table II uses 960..32000)")
+	seed := flag.Int64("seed", 1, "random seed for reproducible training")
+	out := flag.String("out", "model.gob", "output path for the trained model")
+	mode := flag.String("mode", "sim", "evaluation substrate: sim (deterministic Xeon model) or measure (real timed execution)")
+	cParam := flag.Float64("c", 0, "override the ranking-SVM regularization C (0 = default)")
+	flag.Parse()
+
+	opt := stenciltune.TrainOptions{
+		TrainingPoints: *points,
+		Seed:           *seed,
+		C:              *cParam,
+	}
+	switch *mode {
+	case "sim":
+		opt.Mode = stenciltune.Simulate
+	case "measure":
+		opt.Mode = stenciltune.Measure
+	default:
+		log.Fatalf("unknown mode %q (want sim or measure)", *mode)
+	}
+
+	fmt.Printf("generating %d training points (mode=%s, seed=%d)...\n", *points, *mode, *seed)
+	model, report, err := stenciltune.Train(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained on %d points, %d preference pairs in %v\n",
+		report.TrainingPoints, report.Pairs, report.TrainTime.Round(1e6))
+	fmt.Printf("accounted testbed cost: compile %v, execution %v\n",
+		report.SimulatedCompileTime.Round(1e9), report.SimulatedExecTime.Round(1e9))
+
+	if err := model.Save(*out); err != nil {
+		log.Fatal(err)
+	}
+	info, err := os.Stat(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model saved to %s (%d bytes)\n", *out, info.Size())
+}

@@ -1,0 +1,140 @@
+// Command stencil-tune is the standalone autotuner of Section V-C: it loads
+// (or trains) a ranking model, ranks the predefined configuration set for a
+// named benchmark stencil and input size, and reports the chosen tuning
+// vector. With -topk it additionally measures the top-k candidates and picks
+// the best (the paper's future-work hybrid mode).
+//
+// Usage:
+//
+//	stencil-tune -kernel laplacian -size 128x128x128 [-model model.gob] [-topk 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	stenciltune "repro"
+	"repro/internal/dsl"
+)
+
+// kernelFromDSL parses a DSL file and returns the named definition (or the
+// only/first one when name doesn't match a definition).
+func kernelFromDSL(path, name string) (*stenciltune.Kernel, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	defs, err := dsl.Parse(f)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range defs {
+		if d.Name == name {
+			return d.Kernel(), nil
+		}
+	}
+	return defs[0].Kernel(), nil
+}
+
+func parseSize(s string) (stenciltune.Size, error) {
+	parts := strings.Split(s, "x")
+	dims := make([]int, 0, 3)
+	for _, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v <= 0 {
+			return stenciltune.Size{}, fmt.Errorf("bad size component %q", p)
+		}
+		dims = append(dims, v)
+	}
+	switch len(dims) {
+	case 2:
+		return stenciltune.Size2D(dims[0], dims[1]), nil
+	case 3:
+		return stenciltune.Size3D(dims[0], dims[1], dims[2]), nil
+	default:
+		return stenciltune.Size{}, fmt.Errorf("size %q must be NxM or NxMxK", s)
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("stencil-tune: ")
+
+	kernelName := flag.String("kernel", "laplacian", "benchmark kernel name (Table III): blur, edge, game-of-life, wave-1, tricubic, divergence, gradient, laplacian, laplacian6")
+	dslPath := flag.String("dsl", "", "tune a custom stencil from a DSL file instead of a named benchmark (first definition, or select with -kernel)")
+	sizeStr := flag.String("size", "128x128x128", "grid size, e.g. 1024x1024 or 128x128x128")
+	modelPath := flag.String("model", "", "trained model file (empty = train a fresh 3840-point model)")
+	points := flag.Int("points", 3840, "training points when training fresh")
+	seed := flag.Int64("seed", 1, "seed for fresh training")
+	topk := flag.Int("topk", 0, "hybrid mode: additionally evaluate the top-k ranked candidates and pick the measured best")
+	mode := flag.String("mode", "sim", "evaluation substrate for -topk and reporting: sim or measure")
+	flag.Parse()
+
+	var kernel *stenciltune.Kernel
+	var err error
+	if *dslPath != "" {
+		kernel, err = kernelFromDSL(*dslPath, *kernelName)
+	} else {
+		kernel, err = stenciltune.KernelByName(*kernelName)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	size, err := parseSize(*sizeStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := stenciltune.Instance{Kernel: kernel, Size: size}
+	if err := q.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	var model *stenciltune.Model
+	if *modelPath != "" {
+		model, err = stenciltune.LoadModel(*modelPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("loaded model from %s\n", *modelPath)
+	} else {
+		fmt.Printf("training fresh model (%d points)...\n", *points)
+		model, _, err = stenciltune.Train(stenciltune.TrainOptions{TrainingPoints: *points, Seed: *seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var eval stenciltune.Evaluator
+	switch *mode {
+	case "sim":
+		eval = stenciltune.Simulator()
+	case "measure":
+		eval = stenciltune.Measured()
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+
+	tuner := model.Tuner()
+	best, elapsed, err := tuner.TunePredefined(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nCands := len(stenciltune.PredefinedCandidates(kernel.Dims()))
+	fmt.Printf("%s: ranked %d configurations in %v\n", q.ID(), nCands, elapsed.Round(1000))
+	fmt.Printf("top-ranked tuning: %v\n", best)
+	fmt.Printf("evaluated runtime (%s): %.6f s\n", *mode, eval.Runtime(q, best))
+
+	if *topk > 0 {
+		hbest, hval, err := tuner.HybridTune(q, *topk, eval)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("hybrid top-%d tuning: %v (%.6f s, %d measurements)\n",
+			*topk, hbest, hval, *topk)
+	}
+}

@@ -1,0 +1,293 @@
+package bench
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/perfmodel"
+	"repro/internal/stencil"
+)
+
+// smallHarness keeps experiment runtime manageable in unit tests.
+func smallHarness() *Harness {
+	h := New(perfmodel.New(machine.XeonE52680v3()), 1)
+	h.Budget = 64
+	h.Fig4Sizes = []int{480, 960}
+	return h
+}
+
+func TestTable2(t *testing.T) {
+	h := smallHarness()
+	rows, err := h.Table2([]int{480, 960})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	out := RenderTable2(rows)
+	if !strings.Contains(out, "TABLE II") || !strings.Contains(out, "960") {
+		t.Errorf("render missing content:\n%s", out)
+	}
+	var buf bytes.Buffer
+	if err := WriteTable2CSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 3 {
+		t.Errorf("CSV lines = %d, want 3", lines)
+	}
+}
+
+func TestRenderTable3(t *testing.T) {
+	out := RenderTable3()
+	for _, want := range []string{"TABLE III", "blur", "laplacian6", "divergence", "double"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table III render missing %q", want)
+		}
+	}
+	// 17 benchmarks grouped into 9 kernel rows.
+	if lines := strings.Count(out, "\n"); lines != 11 { // header×2 + 9 kernels
+		t.Errorf("Table III rows = %d, want 11", lines)
+	}
+}
+
+func TestFig4SmallRun(t *testing.T) {
+	h := smallHarness()
+	rows, err := h.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 17 {
+		t.Fatalf("rows = %d, want 17", len(rows))
+	}
+	for _, r := range rows {
+		if r.BaseRuntime <= 0 {
+			t.Errorf("%s: base runtime %v", r.Benchmark, r.BaseRuntime)
+		}
+		if r.Search["genetic algorithm"] != 1.0 {
+			t.Errorf("%s: GA speedup must be 1.0 (it is the base)", r.Benchmark)
+		}
+		for _, e := range engineOrder {
+			if v, ok := r.Search[e]; !ok || v <= 0 {
+				t.Errorf("%s: engine %s speedup %v", r.Benchmark, e, v)
+			}
+		}
+		for _, s := range h.Fig4Sizes {
+			v, ok := r.Regression[s]
+			if !ok || v <= 0 {
+				t.Errorf("%s: regression size %d speedup %v", r.Benchmark, s, v)
+			}
+			// Standalone tuning is bounded by the predefined-set oracle.
+			if v > r.OracleBound+1e-9 {
+				t.Errorf("%s: regression speedup %.3f exceeds oracle bound %.3f",
+					r.Benchmark, v, r.OracleBound)
+			}
+		}
+	}
+	out := RenderFig4(rows, h.Fig4Sizes)
+	if !strings.Contains(out, "FIG. 4") || !strings.Contains(out, "blur/1024x1024") {
+		t.Error("Fig. 4 render incomplete")
+	}
+	var buf bytes.Buffer
+	if err := WriteFig4CSV(&buf, rows, h.Fig4Sizes); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 18 {
+		t.Errorf("CSV lines = %d, want 18", lines)
+	}
+}
+
+func TestFig5SmallRun(t *testing.T) {
+	h := smallHarness()
+	qs := []stencil.Instance{
+		{Kernel: stencil.Gradient(), Size: stencil.Size3D(128, 128, 128)},
+	}
+	series, err := h.Fig5(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 1 {
+		t.Fatalf("series = %d", len(series))
+	}
+	s := series[0]
+	for _, e := range engineOrder {
+		curve := s.Curves[e]
+		if len(curve) == 0 {
+			t.Fatalf("engine %s has no curve", e)
+		}
+		// Monotone non-decreasing GFlop/s (best-so-far improves).
+		for i := 1; i < len(curve); i++ {
+			if curve[i].GFlops < curve[i-1].GFlops-1e-9 {
+				t.Errorf("%s: GFlops decreased at %d evals", e, curve[i].Evaluations)
+			}
+		}
+		if s.TimeToSolution[e] <= 0 {
+			t.Errorf("%s: time-to-solution %v", e, s.TimeToSolution[e])
+		}
+	}
+	for _, size := range h.Fig4Sizes {
+		if s.Regression[size] <= 0 {
+			t.Errorf("regression size %d GFlops %v", size, s.Regression[size])
+		}
+	}
+	// Regression ranking must be far cheaper than iterative search.
+	for _, e := range engineOrder {
+		for _, size := range h.Fig4Sizes {
+			key := "ord.regression size=" + itoa(size)
+			if s.TimeToSolution[key] >= s.TimeToSolution[e] {
+				t.Errorf("regression (%v s) not cheaper than %s (%v s)",
+					s.TimeToSolution[key], e, s.TimeToSolution[e])
+			}
+		}
+	}
+	out := RenderFig5(series, h.Fig4Sizes)
+	if !strings.Contains(out, "FIG. 5") || !strings.Contains(out, "time-to-solution") {
+		t.Error("Fig. 5 render incomplete")
+	}
+	var buf bytes.Buffer
+	if err := WriteFig5CSV(&buf, series); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("empty Fig. 5 CSV")
+	}
+}
+
+func itoa(v int) string { return strconv.Itoa(v) }
+
+func TestFig6SmallRun(t *testing.T) {
+	h := smallHarness()
+	res, err := h.Fig6([]int{480, 960})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Taus) != 2 {
+		t.Fatalf("sizes = %d", len(res.Taus))
+	}
+	for size, taus := range res.Taus {
+		if len(taus) == 0 {
+			t.Errorf("size %d: no taus", size)
+		}
+	}
+	out := RenderFig6(res)
+	if !strings.Contains(out, "FIG. 6") {
+		t.Error("Fig. 6 render incomplete")
+	}
+	var buf bytes.Buffer
+	if err := WriteFig6CSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("empty Fig. 6 CSV")
+	}
+}
+
+func TestFig7SmallRun(t *testing.T) {
+	h := smallHarness()
+	rows, err := h.Fig7([]int{480, 960, 1920})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Summary.N == 0 {
+			t.Errorf("size %d: empty summary", r.Size)
+		}
+		if len(r.Density) != len(DensityGrid()) {
+			t.Errorf("size %d: density grid mismatch", r.Size)
+		}
+		if r.Summary.Median < -1 || r.Summary.Median > 1 {
+			t.Errorf("size %d: median τ %v", r.Size, r.Summary.Median)
+		}
+	}
+	out := RenderFig7(rows)
+	if !strings.Contains(out, "FIG. 7") || !strings.Contains(out, "median") {
+		t.Error("Fig. 7 render incomplete")
+	}
+	var buf bytes.Buffer
+	if err := WriteFig7CSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 4 {
+		t.Errorf("CSV lines = %d, want 4", lines)
+	}
+}
+
+func TestModelCacheReused(t *testing.T) {
+	h := smallHarness()
+	m1, _, err := h.modelFor(480)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _, err := h.modelFor(480)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Error("model not cached")
+	}
+}
+
+func TestFig5BenchmarksMatchPaper(t *testing.T) {
+	qs := Fig5Benchmarks()
+	if len(qs) != 4 {
+		t.Fatalf("got %d benchmarks, want 4", len(qs))
+	}
+	want := []string{"gradient/256x256x256", "tricubic/256x256x256", "blur/1024x768", "divergence/128x128x128"}
+	for i, q := range qs {
+		if q.ID() != want[i] {
+			t.Errorf("panel %d = %s, want %s", i, q.ID(), want[i])
+		}
+	}
+}
+
+func TestBarRendering(t *testing.T) {
+	b := bar(0.7, 1.4, 40)
+	if len(b) != 40 {
+		t.Fatalf("bar width %d", len(b))
+	}
+	if !strings.Contains(b, "|") {
+		t.Error("bar missing 1.0 marker")
+	}
+	if bar(-1, 1.4, 10) == bar(2.0, 1.4, 10) {
+		t.Error("clamped bars should differ between extremes")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	h := smallHarness()
+	rows := h.Table1()
+	if len(rows) != 12 {
+		t.Fatalf("rows = %d, want 12 (4 instances × 3 tunings, as Table I)", len(rows))
+	}
+	// Ranks within each instance are a permutation of 1..3.
+	byInstance := map[string][]int{}
+	for _, r := range rows {
+		byInstance[r.Instance] = append(byInstance[r.Instance], r.Rank)
+		if r.Runtime <= 0 {
+			t.Errorf("row %d: runtime %v", r.Index, r.Runtime)
+		}
+	}
+	if len(byInstance) != 4 {
+		t.Fatalf("instances = %d", len(byInstance))
+	}
+	for id, ranks := range byInstance {
+		seen := map[int]bool{}
+		for _, rk := range ranks {
+			if rk < 1 || rk > 3 || seen[rk] {
+				t.Errorf("%s: bad rank set %v", id, ranks)
+				break
+			}
+			seen[rk] = true
+		}
+	}
+	out := RenderTable1(rows)
+	if !strings.Contains(out, "TABLE I") || !strings.Contains(out, "laplacian/128x128x128") {
+		t.Error("Table I render incomplete")
+	}
+}

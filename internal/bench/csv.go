@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"repro/internal/trainer"
+)
+
+// CSV emission for every experiment, so results can be re-plotted with
+// external tooling.
+
+// WriteTable2CSV writes Table II rows.
+func WriteTable2CSV(w io.Writer, rows []trainer.Phases) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"ts_size", "ts_compile_s", "ts_generation_s", "training_s", "regression_s"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			strconv.Itoa(r.TSSize),
+			fmt.Sprintf("%.3f", r.TSCompile.Seconds()),
+			fmt.Sprintf("%.3f", r.TSGeneration.Seconds()),
+			fmt.Sprintf("%.6f", r.Training.Seconds()),
+			fmt.Sprintf("%.9f", r.Regression.Seconds()),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig4CSV writes the Fig. 4 speedup table.
+func WriteFig4CSV(w io.Writer, rows []Fig4Row, trainSizes []int) error {
+	cw := csv.NewWriter(w)
+	header := []string{"benchmark", "base_runtime_s"}
+	for _, e := range engineOrder {
+		header = append(header, "speedup_"+shortEngine(e))
+	}
+	for _, s := range trainSizes {
+		header = append(header, fmt.Sprintf("speedup_ordreg_%d", s))
+	}
+	header = append(header, "speedup_oracle_bound")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{r.Benchmark, fmt.Sprintf("%.6f", r.BaseRuntime)}
+		for _, e := range engineOrder {
+			rec = append(rec, fmt.Sprintf("%.4f", r.Search[e]))
+		}
+		for _, s := range trainSizes {
+			rec = append(rec, fmt.Sprintf("%.4f", r.Regression[s]))
+		}
+		rec = append(rec, fmt.Sprintf("%.4f", r.OracleBound))
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig5CSV writes the convergence curves (long format).
+func WriteFig5CSV(w io.Writer, series []Fig5Series) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"benchmark", "method", "evaluations", "gflops"}); err != nil {
+		return err
+	}
+	for _, s := range series {
+		for _, e := range engineOrder {
+			for _, p := range s.Curves[e] {
+				rec := []string{s.Benchmark, shortEngine(e),
+					strconv.Itoa(p.Evaluations), fmt.Sprintf("%.4f", p.GFlops)}
+				if err := cw.Write(rec); err != nil {
+					return err
+				}
+			}
+		}
+		sizes := make([]int, 0, len(s.Regression))
+		for sz := range s.Regression {
+			sizes = append(sizes, sz)
+		}
+		sort.Ints(sizes)
+		for _, sz := range sizes {
+			rec := []string{s.Benchmark, fmt.Sprintf("ordreg_%d", sz), "0",
+				fmt.Sprintf("%.4f", s.Regression[sz])}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig6CSV writes per-instance τ values.
+func WriteFig6CSV(w io.Writer, res Fig6Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"ts_size", "instance_index", "query", "group_size", "tau"}); err != nil {
+		return err
+	}
+	sizes := make([]int, 0, len(res.Taus))
+	for s := range res.Taus {
+		sizes = append(sizes, s)
+	}
+	sort.Ints(sizes)
+	for _, size := range sizes {
+		for i, qt := range res.Taus[size] {
+			rec := []string{strconv.Itoa(size), strconv.Itoa(i), qt.Query,
+				strconv.Itoa(qt.Size), fmt.Sprintf("%.4f", qt.Tau)}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig7CSV writes the distribution summaries.
+func WriteFig7CSV(w io.Writer, rows []Fig7Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"ts_size", "n", "min", "q1", "median", "q3", "max", "mean", "iqr", "outliers"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		s := r.Summary
+		rec := []string{
+			strconv.Itoa(r.Size), strconv.Itoa(s.N),
+			fmt.Sprintf("%.4f", s.Min), fmt.Sprintf("%.4f", s.Q1),
+			fmt.Sprintf("%.4f", s.Median), fmt.Sprintf("%.4f", s.Q3),
+			fmt.Sprintf("%.4f", s.Max), fmt.Sprintf("%.4f", s.Mean),
+			fmt.Sprintf("%.4f", s.IQR), strconv.Itoa(len(s.Outliers)),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,258 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/stencil"
+	"repro/internal/trainer"
+)
+
+// This file renders experiment results as ASCII tables and charts, matching
+// the rows/series the paper reports.
+
+// engineOrder is the Fig. 4 legend order.
+var engineOrder = []string{
+	"genetic algorithm", "differential evolution", "evolutive strategy", "sGA",
+}
+
+// RenderTable2 formats Table II.
+func RenderTable2(rows []trainer.Phases) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "TABLE II — computing time of the training phases\n")
+	fmt.Fprintf(&b, "%8s  %12s  %14s  %10s  %12s\n",
+		"TS Size", "TS Comp.", "TS Generation", "Training", "Regression")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%8d  %12s  %14s  %10s  %12s\n",
+			r.TSSize,
+			roundDur(r.TSCompile), roundDur(r.TSGeneration),
+			roundDur(r.Training), roundDur(r.Regression))
+	}
+	return b.String()
+}
+
+func roundDur(d time.Duration) string {
+	switch {
+	case d >= time.Hour:
+		return fmt.Sprintf("%.1fh", d.Hours())
+	case d >= time.Minute:
+		return fmt.Sprintf("%.1fm", d.Minutes())
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}
+
+// RenderTable3 formats the benchmark inventory of Table III.
+func RenderTable3() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "TABLE III — stencil test benchmarks (9 kernels, 17 benchmarks)\n")
+	fmt.Fprintf(&b, "%-14s %-4s %-10s %-8s %-8s %s\n",
+		"Kernel", "Dims", "Points", "Buffers", "Type", "Sizes")
+	sizes := map[string][]string{}
+	for _, q := range stencil.Benchmarks() {
+		sizes[q.Kernel.Name] = append(sizes[q.Kernel.Name], q.Size.String())
+	}
+	for _, k := range stencil.BenchmarkKernels() {
+		fmt.Fprintf(&b, "%-14s %-4d %-10d %-8d %-8s %s\n",
+			k.Name, k.Dims(), k.Shape.Size(), k.Buffers, k.Type,
+			strings.Join(sizes[k.Name], ", "))
+	}
+	return b.String()
+}
+
+// RenderFig4 formats the speedup comparison as a table plus bar chart.
+func RenderFig4(rows []Fig4Row, trainSizes []int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "FIG. 4 — speedup vs base configuration (GA after 1024 evaluations)\n")
+	// Header.
+	fmt.Fprintf(&b, "%-26s", "benchmark")
+	for _, e := range engineOrder {
+		fmt.Fprintf(&b, " %8s", shortEngine(e))
+	}
+	for _, s := range trainSizes {
+		fmt.Fprintf(&b, " %8s", fmt.Sprintf("or.%d", s))
+	}
+	fmt.Fprintf(&b, " %8s\n", "bound")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-26s", r.Benchmark)
+		for _, e := range engineOrder {
+			fmt.Fprintf(&b, " %8.3f", r.Search[e])
+		}
+		for _, s := range trainSizes {
+			fmt.Fprintf(&b, " %8.3f", r.Regression[s])
+		}
+		fmt.Fprintf(&b, " %8.3f\n", r.OracleBound)
+	}
+	// Bar chart of the largest-model regression speedup per benchmark.
+	if len(trainSizes) > 0 {
+		big := trainSizes[len(trainSizes)-1]
+		fmt.Fprintf(&b, "\nord.regression size=%d speedup (|=1.0):\n", big)
+		for _, r := range rows {
+			fmt.Fprintf(&b, "%-26s %s %.2f\n", r.Benchmark, bar(r.Regression[big], 1.4, 40), r.Regression[big])
+		}
+	}
+	return b.String()
+}
+
+func shortEngine(name string) string {
+	switch name {
+	case "genetic algorithm":
+		return "GA"
+	case "differential evolution":
+		return "DE"
+	case "evolutive strategy":
+		return "ES"
+	case "sGA":
+		return "sGA"
+	default:
+		return name
+	}
+}
+
+// bar renders v on a scale where full is width characters; a '|' marks 1.0.
+func bar(v, full float64, width int) string {
+	n := int(v / full * float64(width))
+	if n < 0 {
+		n = 0
+	}
+	if n > width {
+		n = width
+	}
+	mark := int(1.0 / full * float64(width))
+	var sb strings.Builder
+	for i := 0; i < width; i++ {
+		switch {
+		case i == mark:
+			sb.WriteByte('|')
+		case i < n:
+			sb.WriteByte('#')
+		default:
+			sb.WriteByte(' ')
+		}
+	}
+	return sb.String()
+}
+
+// RenderFig5 formats the convergence panels.
+func RenderFig5(series []Fig5Series, trainSizes []int) string {
+	var b strings.Builder
+	for _, s := range series {
+		fmt.Fprintf(&b, "FIG. 5 — %s: GFlop/s of best configuration vs evaluations\n", s.Benchmark)
+		fmt.Fprintf(&b, "%8s", "evals")
+		for _, e := range engineOrder {
+			fmt.Fprintf(&b, " %8s", shortEngine(e))
+		}
+		fmt.Fprintf(&b, "\n")
+		if len(s.Curves[engineOrder[0]]) > 0 {
+			for i, p := range s.Curves[engineOrder[0]] {
+				fmt.Fprintf(&b, "%8d", p.Evaluations)
+				for _, e := range engineOrder {
+					fmt.Fprintf(&b, " %8.2f", s.Curves[e][i].GFlops)
+				}
+				fmt.Fprintf(&b, "\n")
+			}
+		}
+		fmt.Fprintf(&b, "ordinal regression (horizontal lines):\n")
+		for _, size := range trainSizes {
+			fmt.Fprintf(&b, "  size=%-6d %8.2f GFlop/s\n", size, s.Regression[size])
+		}
+		fmt.Fprintf(&b, "time-to-solution (seconds, log-scale bars in the paper):\n")
+		keys := make([]string, 0, len(s.TimeToSolution))
+		for k := range s.TimeToSolution {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "  %-28s %12.4g s\n", k, s.TimeToSolution[k])
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	return b.String()
+}
+
+// RenderFig6 formats the per-instance τ sequences.
+func RenderFig6(res Fig6Result) string {
+	var b strings.Builder
+	sizes := make([]int, 0, len(res.Taus))
+	for s := range res.Taus {
+		sizes = append(sizes, s)
+	}
+	sort.Ints(sizes)
+	for _, size := range sizes {
+		taus := res.Taus[size]
+		fmt.Fprintf(&b, "FIG. 6 — Kendall τ per training instance, size=%d (n=%d)\n", size, len(taus))
+		// Sparkline-style histogram over instance index, 50 per row.
+		for i, qt := range taus {
+			if i%50 == 0 {
+				if i > 0 {
+					fmt.Fprintf(&b, "\n")
+				}
+				fmt.Fprintf(&b, "%4d: ", i)
+			}
+			b.WriteByte(tauGlyph(qt.Tau))
+		}
+		fmt.Fprintf(&b, "\n  (glyphs: '#'≥0.8  '+'≥0.5  '.'≥0.2  '~'≥-0.2  '-'<-0.2)\n\n")
+	}
+	return b.String()
+}
+
+func tauGlyph(tau float64) byte {
+	switch {
+	case tau >= 0.8:
+		return '#'
+	case tau >= 0.5:
+		return '+'
+	case tau >= 0.2:
+		return '.'
+	case tau >= -0.2:
+		return '~'
+	default:
+		return '-'
+	}
+}
+
+// RenderFig7 formats the τ distribution per training size as text box plots
+// with violin densities.
+func RenderFig7(rows []Fig7Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "FIG. 7 — Kendall τ distribution by training-set size (C as configured)\n")
+	fmt.Fprintf(&b, "%8s  %7s %7s %7s %7s %7s %9s  %s\n",
+		"size", "min", "Q1", "median", "Q3", "max", "outliers", "violin (τ from -1 to 1)")
+	grid := DensityGrid()
+	for _, r := range rows {
+		s := r.Summary
+		fmt.Fprintf(&b, "%8d  %7.3f %7.3f %7.3f %7.3f %7.3f %9d  %s\n",
+			r.Size, s.Min, s.Q1, s.Median, s.Q3, s.Max, len(s.Outliers),
+			violin(r.Density, grid))
+	}
+	return b.String()
+}
+
+// violin renders a density as a sparkline over the τ grid.
+func violin(density, grid []float64) string {
+	if len(density) == 0 {
+		return ""
+	}
+	max := 0.0
+	for _, d := range density {
+		if d > max {
+			max = d
+		}
+	}
+	if max == 0 {
+		return strings.Repeat(" ", len(density))
+	}
+	glyphs := []byte(" .:-=+*#%@")
+	var sb strings.Builder
+	for _, d := range density {
+		idx := int(d / max * float64(len(glyphs)-1))
+		sb.WriteByte(glyphs[idx])
+	}
+	return sb.String()
+}

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ranking"
+	"repro/internal/stencil"
+	"repro/internal/tunespace"
+)
+
+// Table1Row is one line of the paper's didactic Table I: a stencil-instance
+// execution with its runtime and within-instance rank.
+type Table1Row struct {
+	Index    int
+	Instance string
+	Tuning   tunespace.Vector
+	Runtime  float64
+	Rank     int
+}
+
+// Table1 reproduces the structure of Table I: two kernels × two input sizes,
+// three tuning vectors each, ranked within every instance. The concrete
+// kernels are laplacian and gradient at the paper's two 3-D sizes.
+func (h *Harness) Table1() []Table1Row {
+	instances := []stencil.Instance{
+		{Kernel: stencil.Laplacian(), Size: stencil.Size3D(128, 128, 128)},
+		{Kernel: stencil.Laplacian(), Size: stencil.Size3D(256, 256, 256)},
+		{Kernel: stencil.Gradient(), Size: stencil.Size3D(128, 128, 128)},
+		{Kernel: stencil.Gradient(), Size: stencil.Size3D(256, 256, 256)},
+	}
+	tunings := []tunespace.Vector{
+		{Bx: 32, By: 16, Bz: 8, U: 2, C: 2},
+		{Bx: 4, By: 4, Bz: 4, U: 0, C: 1},
+		{Bx: 1024, By: 1024, Bz: 1024, U: 8, C: 16},
+	}
+	var rows []Table1Row
+	idx := 1
+	for _, q := range instances {
+		runtimes := make([]float64, len(tunings))
+		for i, tv := range tunings {
+			runtimes[i] = h.Eval.Runtime(q, tv)
+		}
+		ranks := ranking.Ranks(runtimes)
+		for i, tv := range tunings {
+			rows = append(rows, Table1Row{
+				Index:    idx,
+				Instance: q.ID(),
+				Tuning:   tv,
+				Runtime:  runtimes[i],
+				Rank:     ranks[i],
+			})
+			idx++
+		}
+	}
+	return rows
+}
+
+// RenderTable1 formats the Table I reproduction.
+func RenderTable1(rows []Table1Row) string {
+	var b strings.Builder
+	b.WriteString("TABLE I — example stencil instance executions with partial rankings\n")
+	fmt.Fprintf(&b, "%3s  %-24s %-28s %12s  %4s\n", "#", "Instance", "Tuning", "Runtime", "Rank")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%3d  %-24s %-28s %10.2fms  %4d\n",
+			r.Index, r.Instance, r.Tuning.String(), r.Runtime*1000, r.Rank)
+	}
+	b.WriteString("(rankings are only comparable within the same instance — Sec. IV-D)\n")
+	return b.String()
+}

@@ -1,0 +1,84 @@
+package codegen
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/stencil"
+	"repro/internal/tunespace"
+)
+
+func TestCompileAndRun(t *testing.T) {
+	c := NewCompiler()
+	k := stencil.Laplacian()
+	v, err := c.Compile(k, tunespace.Vector{Bx: 16, By: 8, Bz: 4, U: 2, C: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	halo := k.Shape.MaxOffset()
+	out := grid.New(32, 32, 32, halo, halo)
+	in := grid.New(32, 32, 32, halo, halo)
+	in.FillPattern()
+	if err := v.Run(out, []*grid.Grid{in}); err != nil {
+		t.Fatal(err)
+	}
+	if out.InteriorSum() == 0 {
+		t.Error("variant produced all-zero output")
+	}
+}
+
+func TestCompileRejectsInvalid(t *testing.T) {
+	c := NewCompiler()
+	if _, err := c.Compile(stencil.Laplacian(), tunespace.Vector{Bx: 0, By: 8, Bz: 4, U: 0, C: 1}); err == nil {
+		t.Error("invalid tuning accepted")
+	}
+	bad := &stencil.Kernel{Name: "bad", Buffers: 0}
+	if _, err := c.Compile(bad, tunespace.Vector{Bx: 8, By: 8, Bz: 8, U: 0, C: 1}); err == nil {
+		t.Error("invalid kernel accepted")
+	}
+}
+
+func TestCompileCostGrowsWithDensityAndUnroll(t *testing.T) {
+	sparse := CompileCost(stencil.Gradient(), tunespace.Vector{Bx: 8, By: 8, Bz: 8, U: 0, C: 1})
+	dense := CompileCost(stencil.Tricubic(), tunespace.Vector{Bx: 8, By: 8, Bz: 8, U: 0, C: 1})
+	if dense <= sparse {
+		t.Errorf("denser stencil should compile slower: %v vs %v", dense, sparse)
+	}
+	u0 := CompileCost(stencil.Laplacian(), tunespace.Vector{Bx: 8, By: 8, Bz: 8, U: 0, C: 1})
+	u8 := CompileCost(stencil.Laplacian(), tunespace.Vector{Bx: 8, By: 8, Bz: 8, U: 8, C: 1})
+	if u8 <= u0 {
+		t.Errorf("unrolled variant should compile slower: %v vs %v", u8, u0)
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	c := NewCompiler()
+	tv := tunespace.Vector{Bx: 8, By: 8, Bz: 8, U: 2, C: 1}
+	if _, err := c.Compile(stencil.Laplacian(), tv); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Compile(stencil.Gradient(), tv); err != nil {
+		t.Fatal(err)
+	}
+	if c.Compiled() != 2 {
+		t.Errorf("Compiled = %d, want 2", c.Compiled())
+	}
+	want := CompileCost(stencil.Laplacian(), tv) + CompileCost(stencil.Gradient(), tv)
+	if c.AccountedCompileTime() != want {
+		t.Errorf("accounted %v, want %v", c.AccountedCompileTime(), want)
+	}
+}
+
+func TestCompileCostMagnitude(t *testing.T) {
+	// A full training set (hundreds of dense variants) should account to
+	// hours, matching the paper's 32h narrative; a single cheap variant
+	// stays in seconds.
+	cheap := CompileCost(stencil.Gradient(), tunespace.Vector{Bx: 8, By: 8, Bz: 8, U: 0, C: 1})
+	if cheap > 10*time.Second {
+		t.Errorf("single sparse variant costs %v, implausibly high", cheap)
+	}
+	if cheap < 500*time.Millisecond {
+		t.Errorf("single variant costs %v, implausibly low", cheap)
+	}
+}

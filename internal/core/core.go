@@ -1,0 +1,210 @@
+// Package core is the autotuner of the paper: given a trained
+// ordinal-regression model, it ranks candidate tuning vectors for an unseen
+// stencil instance without executing them, and returns the top-ranked one
+// (Sec. V-C). It supports the standalone mode evaluated in Sec. VI-A (rank a
+// predefined configuration set) and the search-accelerator coupling sketched
+// in the paper's future work (rank-filter candidates, then spend a small
+// measurement budget on the top of the ranking).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/feature"
+	"repro/internal/search"
+	"repro/internal/stencil"
+	"repro/internal/svmrank"
+	"repro/internal/tunespace"
+)
+
+// Tuner ranks tuning vectors for stencil instances with a trained model.
+type Tuner struct {
+	Model   *svmrank.Model
+	Encoder *feature.Encoder
+}
+
+// New returns a tuner around a trained model with the default encoder.
+func New(model *svmrank.Model) *Tuner {
+	return &Tuner{Model: model, Encoder: feature.NewEncoder()}
+}
+
+// Rank returns the candidate indices ordered best-first according to the
+// model. No execution happens.
+func (t *Tuner) Rank(q stencil.Instance, cands []tunespace.Vector) ([]int, error) {
+	if t.Model == nil {
+		return nil, errors.New("core: tuner has no model")
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cands) == 0 {
+		return nil, errors.New("core: empty candidate set")
+	}
+	xs := make([]feature.Vector, len(cands))
+	for i, tv := range cands {
+		if err := tv.Validate(q.Kernel.Dims()); err != nil {
+			return nil, fmt.Errorf("core: candidate %d: %w", i, err)
+		}
+		xs[i] = t.Encoder.Encode(q, tv)
+	}
+	return t.Model.Rank(xs), nil
+}
+
+// Best returns the top-ranked candidate.
+func (t *Tuner) Best(q stencil.Instance, cands []tunespace.Vector) (tunespace.Vector, error) {
+	order, err := t.Rank(q, cands)
+	if err != nil {
+		return tunespace.Vector{}, err
+	}
+	return cands[order[0]], nil
+}
+
+// TunePredefined runs the standalone mode of Sec. VI-A: rank the
+// hierarchically-sampled power-of-two predefined set for the instance's
+// dimensionality (1600 configurations for 2-D, 8640 for 3-D) and return the
+// top-ranked vector together with the ranking time.
+func (t *Tuner) TunePredefined(q stencil.Instance) (tunespace.Vector, time.Duration, error) {
+	if err := q.Validate(); err != nil {
+		return tunespace.Vector{}, 0, err
+	}
+	cands := tunespace.NewSpace(q.Kernel.Dims()).Predefined()
+	start := time.Now()
+	best, err := t.Best(q, cands)
+	return best, time.Since(start), err
+}
+
+// HybridResult is the outcome of the rank-then-measure coupling.
+type HybridResult struct {
+	Best        tunespace.Vector
+	BestValue   float64
+	Evaluations int // objective calls actually spent
+	RankedFrom  int // candidate-set size that was ranked for free
+}
+
+// HybridTopK implements the paper's future-work coupling of the ranking
+// model with iterative compilation: rank the full candidate set without
+// executing anything, then spend the measurement budget only on the top-k
+// ranked candidates and return the measured best. With k ≪ |cands| this
+// turns a 1024-evaluation search into a handful of runs.
+func (t *Tuner) HybridTopK(q stencil.Instance, cands []tunespace.Vector, k int, obj search.Objective) (HybridResult, error) {
+	if k <= 0 {
+		return HybridResult{}, fmt.Errorf("core: k = %d must be positive", k)
+	}
+	order, err := t.Rank(q, cands)
+	if err != nil {
+		return HybridResult{}, err
+	}
+	if k > len(order) {
+		k = len(order)
+	}
+	res := HybridResult{RankedFrom: len(cands)}
+	bestVal := 0.0
+	for i := 0; i < k; i++ {
+		v := cands[order[i]]
+		val := obj(v)
+		res.Evaluations++
+		if i == 0 || val < bestVal {
+			bestVal = val
+			res.Best = v
+			res.BestValue = val
+		}
+	}
+	return res, nil
+}
+
+// SeededSearch runs an iterative search engine whose initial exploration is
+// biased by the model: the engine's random objective evaluations are
+// intercepted so the first len(seeds) evaluations probe the model's
+// top-ranked candidates. This is the "speed up iterative compilation"
+// direction of the paper's conclusion.
+func (t *Tuner) SeededSearch(q stencil.Instance, engine search.Engine, obj search.Objective,
+	budget, seedCount int, seed int64) (search.Result, error) {
+
+	space := tunespace.NewSpace(q.Kernel.Dims())
+	cands := space.Predefined()
+	order, err := t.Rank(q, cands)
+	if err != nil {
+		return search.Result{}, err
+	}
+	if seedCount > len(order) {
+		seedCount = len(order)
+	}
+	// Queue of model-suggested vectors, consumed by the first evaluations.
+	queue := make([]tunespace.Vector, 0, seedCount)
+	for i := 0; i < seedCount; i++ {
+		queue = append(queue, cands[order[i]])
+	}
+	intercepted := func(v tunespace.Vector) float64 {
+		if len(queue) > 0 {
+			v = queue[0]
+			queue = queue[1:]
+		}
+		return obj(v)
+	}
+	return engine.Search(space, intercepted, budget, seed), nil
+}
+
+// Evaluator adapters -------------------------------------------------------
+
+// ObjectiveFor wraps an Evaluator into a search objective for one instance.
+func ObjectiveFor(eval dataset.Evaluator, q stencil.Instance) search.Objective {
+	return func(v tunespace.Vector) float64 { return eval.Runtime(q, v) }
+}
+
+// TopOfRanking is a convenience for analyses: it returns the candidates
+// sorted best-first according to the model (the full permutation applied).
+func (t *Tuner) TopOfRanking(q stencil.Instance, cands []tunespace.Vector) ([]tunespace.Vector, error) {
+	order, err := t.Rank(q, cands)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]tunespace.Vector, len(order))
+	for i, o := range order {
+		out[i] = cands[o]
+	}
+	return out, nil
+}
+
+// OracleBest returns the truly best candidate under the evaluator — the
+// bound the paper notes standalone tuning cannot exceed ("the performance we
+// obtain ... is bound by the solution performing the best in the pre-defined
+// set"). Used by the experiment harness and tests.
+func OracleBest(eval dataset.Evaluator, q stencil.Instance, cands []tunespace.Vector) (tunespace.Vector, float64) {
+	type scored struct {
+		v tunespace.Vector
+		r float64
+	}
+	best := scored{r: -1}
+	for _, v := range cands {
+		r := eval.Runtime(q, v)
+		if best.r < 0 || r < best.r {
+			best = scored{v, r}
+		}
+	}
+	return best.v, best.r
+}
+
+// RankQuality computes the fraction of the oracle's performance the model's
+// top-1 achieves on a candidate set: oracleRuntime / chosenRuntime in (0,1].
+func RankQuality(eval dataset.Evaluator, t *Tuner, q stencil.Instance, cands []tunespace.Vector) (float64, error) {
+	chosen, err := t.Best(q, cands)
+	if err != nil {
+		return 0, err
+	}
+	_, oracle := OracleBest(eval, q, cands)
+	return oracle / eval.Runtime(q, chosen), nil
+}
+
+// SortVectorsByRuntime is a test/analysis helper ordering vectors by their
+// evaluated runtime ascending.
+func SortVectorsByRuntime(eval dataset.Evaluator, q stencil.Instance, vs []tunespace.Vector) []tunespace.Vector {
+	out := append([]tunespace.Vector(nil), vs...)
+	sort.SliceStable(out, func(a, b int) bool {
+		return eval.Runtime(q, out[a]) < eval.Runtime(q, out[b])
+	})
+	return out
+}

@@ -1,0 +1,294 @@
+package dataset
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/perfmodel"
+	"repro/internal/stencil"
+)
+
+func evaluator() Evaluator { return perfmodel.New(machine.XeonE52680v3()) }
+
+func TestTrainingKernelsCount(t *testing.T) {
+	ks := TrainingKernels()
+	if len(ks) != 60 {
+		t.Fatalf("got %d training kernels, want 60 (Sec. V-B)", len(ks))
+	}
+	names := map[string]bool{}
+	n2, n3 := 0, 0
+	for _, k := range ks {
+		if err := k.Validate(); err != nil {
+			t.Errorf("%s: %v", k.Name, err)
+		}
+		if names[k.Name] {
+			t.Errorf("duplicate kernel name %s", k.Name)
+		}
+		names[k.Name] = true
+		if k.Dims() == 2 {
+			n2++
+		} else {
+			n3++
+		}
+	}
+	if n2 == 0 || n3 == 0 {
+		t.Errorf("need both 2-D (%d) and 3-D (%d) kernels", n2, n3)
+	}
+}
+
+func TestTrainingKernelsCoverVariety(t *testing.T) {
+	ks := TrainingKernels()
+	var sawDouble, sawMultiBuffer, sawOffset3 bool
+	for _, k := range ks {
+		if k.Type == stencil.Float64 {
+			sawDouble = true
+		}
+		if k.Buffers > 1 {
+			sawMultiBuffer = true
+		}
+		if k.Shape.MaxOffset() == 3 {
+			sawOffset3 = true
+		}
+	}
+	if !sawDouble || !sawMultiBuffer || !sawOffset3 {
+		t.Errorf("coverage gaps: double=%v multibuf=%v offset3=%v", sawDouble, sawMultiBuffer, sawOffset3)
+	}
+}
+
+func TestTrainingInstancesCount(t *testing.T) {
+	qs := TrainingInstances()
+	if len(qs) != 200 {
+		t.Fatalf("got %d instances, want 200 (Sec. V-B)", len(qs))
+	}
+	for _, q := range qs {
+		if err := q.Validate(); err != nil {
+			t.Errorf("%s: %v", q.ID(), err)
+		}
+	}
+}
+
+func TestTrainingInstancesUseTrainingSizes(t *testing.T) {
+	want2 := map[string]bool{}
+	for _, s := range stencil.TrainingSizes2D() {
+		want2[s.String()] = true
+	}
+	want3 := map[string]bool{}
+	for _, s := range stencil.TrainingSizes3D() {
+		want3[s.String()] = true
+	}
+	for _, q := range TrainingInstances() {
+		if q.Size.Is2D() && !want2[q.Size.String()] {
+			t.Errorf("%s: unexpected 2-D size", q.ID())
+		}
+		if !q.Size.Is2D() && !want3[q.Size.String()] {
+			t.Errorf("%s: unexpected 3-D size", q.ID())
+		}
+	}
+}
+
+func TestGenerateExactTargets(t *testing.T) {
+	for _, target := range []int{960, 1920, 3840} {
+		set, err := Generate(evaluator(), Options{TargetPoints: target, Seed: 1})
+		if err != nil {
+			t.Fatalf("target %d: %v", target, err)
+		}
+		if set.Len() != target {
+			t.Errorf("target %d: got %d points", target, set.Len())
+		}
+		if set.Data.Len() != target {
+			t.Errorf("target %d: dataset has %d examples", target, set.Data.Len())
+		}
+	}
+}
+
+func TestGenerate3DGetsTwiceTheTunings(t *testing.T) {
+	set, err := Generate(evaluator(), Options{TargetPoints: 3840, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	dims := map[string]int{}
+	for _, e := range set.Executions {
+		counts[e.Instance.ID()]++
+		dims[e.Instance.ID()] = e.Instance.Kernel.Dims()
+	}
+	var c2, c3, n2, n3 int
+	for id, c := range counts {
+		if dims[id] == 2 {
+			c2 += c
+			n2++
+		} else {
+			c3 += c
+			n3++
+		}
+	}
+	if n2 == 0 || n3 == 0 {
+		t.Fatal("missing 2-D or 3-D instances")
+	}
+	avg2 := float64(c2) / float64(n2)
+	avg3 := float64(c3) / float64(n3)
+	ratio := avg3 / avg2
+	if ratio < 1.6 || ratio > 2.4 {
+		t.Errorf("3-D/2-D tuning ratio = %.2f, want ~2 (Sec. V-B)", ratio)
+	}
+}
+
+func TestGenerateSmallTarget(t *testing.T) {
+	set, err := Generate(evaluator(), Options{TargetPoints: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 50 {
+		t.Errorf("got %d points, want 50", set.Len())
+	}
+	// Small sets must still form rankable groups (≥2 per query mostly).
+	groups := set.Data.Groups()
+	pairable := 0
+	for _, idx := range groups {
+		if len(idx) >= 2 {
+			pairable++
+		}
+	}
+	if pairable == 0 {
+		t.Error("no pairable query groups in small set")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(evaluator(), Options{TargetPoints: 0}); err == nil {
+		t.Error("zero target accepted")
+	}
+	if _, err := Generate(evaluator(), Options{TargetPoints: -5}); err == nil {
+		t.Error("negative target accepted")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(evaluator(), Options{TargetPoints: 500, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(evaluator(), Options{TargetPoints: 500, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatal("non-deterministic length")
+	}
+	for i := range a.Executions {
+		if a.Executions[i].Tuning != b.Executions[i].Tuning ||
+			a.Executions[i].Runtime != b.Executions[i].Runtime {
+			t.Fatal("non-deterministic generation")
+		}
+	}
+}
+
+func TestGenerateAccountsCosts(t *testing.T) {
+	set, err := Generate(evaluator(), Options{TargetPoints: 960, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.SimulatedExecTime <= 0 {
+		t.Error("simulated execution time not accounted")
+	}
+	if set.SimulatedCompileTime <= 0 {
+		t.Error("simulated compile time not accounted")
+	}
+	// Table II narrative: compile cost dominates generation cost.
+	if set.SimulatedCompileTime < set.SimulatedExecTime {
+		t.Errorf("compile %v should exceed execution %v (Table II shape)",
+			set.SimulatedCompileTime, set.SimulatedExecTime)
+	}
+	if set.WallTime <= 0 {
+		t.Error("wall time not recorded")
+	}
+}
+
+func TestExecutionRuntimesPositive(t *testing.T) {
+	set, err := Generate(evaluator(), Options{TargetPoints: 400, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range set.Executions {
+		if e.Runtime <= 0 {
+			t.Fatalf("%s %v: runtime %v", e.Instance.ID(), e.Tuning, e.Runtime)
+		}
+		if err := e.Tuning.Validate(e.Instance.Kernel.Dims()); err != nil {
+			t.Fatalf("invalid tuning in set: %v", err)
+		}
+	}
+}
+
+func TestHeuristicSampling(t *testing.T) {
+	set, err := Generate(evaluator(), Options{TargetPoints: 960, Seed: 8, Sampling: HeuristicMixed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 960 {
+		t.Fatalf("got %d points, want 960", set.Len())
+	}
+	// Heuristic sets must contain power-of-two lattice points.
+	isPow2 := func(n int) bool { return n > 0 && n&(n-1) == 0 }
+	lattice := 0
+	for _, e := range set.Executions {
+		tv := e.Tuning
+		if isPow2(tv.Bx) && isPow2(tv.By) && (tv.Bz == 1 || isPow2(tv.Bz)) && isPow2(tv.C) {
+			lattice++
+		}
+	}
+	if lattice < set.Len()/10 {
+		t.Errorf("only %d/%d lattice-like points in heuristic set", lattice, set.Len())
+	}
+	for _, e := range set.Executions {
+		if err := e.Tuning.Validate(e.Instance.Kernel.Dims()); err != nil {
+			t.Fatalf("heuristic sample invalid: %v", err)
+		}
+	}
+}
+
+func TestHeuristicSamplingConcentratesNearOptimum(t *testing.T) {
+	// The refined quarter should give heuristic sets a better best-seen
+	// runtime per instance than uniform ones on average.
+	eval := evaluator()
+	uni, err := Generate(eval, Options{TargetPoints: 1920, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heu, err := Generate(eval, Options{TargetPoints: 1920, Seed: 9, Sampling: HeuristicMixed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestPer := func(s *Set) map[string]float64 {
+		m := map[string]float64{}
+		for _, e := range s.Executions {
+			id := e.Instance.ID()
+			if cur, ok := m[id]; !ok || e.Runtime < cur {
+				m[id] = e.Runtime
+			}
+		}
+		return m
+	}
+	ub, hb := bestPer(uni), bestPer(heu)
+	wins := 0
+	total := 0
+	for id, u := range ub {
+		if h, ok := hb[id]; ok {
+			total++
+			if h <= u {
+				wins++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no common instances")
+	}
+	if wins*2 < total {
+		t.Errorf("heuristic sampling found better-or-equal best in only %d/%d instances", wins, total)
+	}
+}
+
+func TestSamplingString(t *testing.T) {
+	if UniformRandom.String() != "random" || HeuristicMixed.String() != "heuristic" {
+		t.Error("sampling names wrong")
+	}
+}

@@ -1,0 +1,370 @@
+// Package exec is the real stencil execution engine: it applies linear
+// stencil kernels over grids with the same code transformations PATUS
+// exposes — loop blocking (bx, by, bz), innermost-loop unrolling (u) and
+// chunked multithreaded tile scheduling (c) — implemented with goroutine
+// workers instead of OpenMP threads.
+//
+// It serves two roles: the "Measure" evaluation mode (wall-clock timing of
+// actual Go execution, for users who want real measurements instead of the
+// simulator) and the correctness substrate proving that every tuning vector
+// computes the same result as the naive reference sweep.
+package exec
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/grid"
+	"repro/internal/shape"
+	"repro/internal/stencil"
+	"repro/internal/tunespace"
+)
+
+// Term is one weighted access of a linear stencil: out += Weight * in[buffer][p + Offset].
+type Term struct {
+	Buffer int
+	Offset shape.Point
+	Weight float64
+}
+
+// LinearKernel is an executable stencil: the updated value is the weighted
+// sum of the terms. Every Table III benchmark is expressible in this form.
+type LinearKernel struct {
+	Name    string
+	Buffers int
+	Terms   []Term
+}
+
+// Validate checks the kernel references only existing buffers.
+func (k *LinearKernel) Validate() error {
+	if len(k.Terms) == 0 {
+		return fmt.Errorf("exec: kernel %q has no terms", k.Name)
+	}
+	if k.Buffers < 1 {
+		return fmt.Errorf("exec: kernel %q has %d buffers", k.Name, k.Buffers)
+	}
+	for _, t := range k.Terms {
+		if t.Buffer < 0 || t.Buffer >= k.Buffers {
+			return fmt.Errorf("exec: kernel %q references buffer %d of %d", k.Name, t.Buffer, k.Buffers)
+		}
+	}
+	return nil
+}
+
+// MaxOffset returns the halo width the kernel needs.
+func (k *LinearKernel) MaxOffset() int {
+	r := 0
+	for _, t := range k.Terms {
+		if n := t.Offset.ChebyshevNorm(); n > r {
+			r = n
+		}
+	}
+	return r
+}
+
+// Shape returns the access pattern of the kernel in the Sec. III-A model
+// (per-buffer patterns summed).
+func (k *LinearKernel) Shape() *shape.Shape {
+	s := shape.New()
+	for _, t := range k.Terms {
+		s.Add(t.Offset, 1)
+	}
+	return s
+}
+
+// plan holds the flattened per-term data precomputed for one grid geometry.
+type plan struct {
+	idxOff []int       // flat-index displacement per term
+	weight []float64   // weight per term
+	data   [][]float64 // backing slice per buffer, indexed by term
+}
+
+func buildPlan(k *LinearKernel, out *grid.Grid, ins []*grid.Grid) *plan {
+	p := &plan{
+		idxOff: make([]int, len(k.Terms)),
+		weight: make([]float64, len(k.Terms)),
+		data:   make([][]float64, len(k.Terms)),
+	}
+	for i, t := range k.Terms {
+		g := ins[t.Buffer]
+		p.idxOff[i] = g.OffsetIndex(t.Offset.X, t.Offset.Y, t.Offset.Z)
+		p.weight[i] = t.Weight
+		p.data[i] = g.Data()
+	}
+	_ = out
+	return p
+}
+
+// Runner executes kernels with a fixed worker count (defaults to GOMAXPROCS).
+type Runner struct {
+	Workers int
+}
+
+// NewRunner returns a runner using all available CPUs.
+func NewRunner() *Runner { return &Runner{Workers: runtime.GOMAXPROCS(0)} }
+
+// checkGeometry validates that every buffer matches the output geometry and
+// carries a sufficient halo.
+func checkGeometry(k *LinearKernel, out *grid.Grid, ins []*grid.Grid) error {
+	if len(ins) != k.Buffers {
+		return fmt.Errorf("exec: kernel %q wants %d buffers, got %d", k.Name, k.Buffers, len(ins))
+	}
+	need := k.MaxOffset()
+	for i, g := range ins {
+		if g.NX != out.NX || g.NY != out.NY || g.NZ != out.NZ {
+			return fmt.Errorf("exec: buffer %d geometry %dx%dx%d mismatches output %dx%dx%d",
+				i, g.NX, g.NY, g.NZ, out.NX, out.NY, out.NZ)
+		}
+		if g.Halo < need || (g.NZ > 1 && g.HaloZ < need) {
+			return fmt.Errorf("exec: buffer %d halo %d/%d insufficient for offset %d",
+				i, g.Halo, g.HaloZ, need)
+		}
+	}
+	return nil
+}
+
+// Reference computes the kernel with a naive, unblocked, single-threaded
+// sweep. It is the correctness oracle for Run.
+func (r *Runner) Reference(k *LinearKernel, out *grid.Grid, ins []*grid.Grid) error {
+	if err := k.Validate(); err != nil {
+		return err
+	}
+	if err := checkGeometry(k, out, ins); err != nil {
+		return err
+	}
+	p := buildPlan(k, out, ins)
+	dst := out.Data()
+	for z := 0; z < out.NZ; z++ {
+		for y := 0; y < out.NY; y++ {
+			base := out.Index(0, y, z)
+			for x := 0; x < out.NX; x++ {
+				var acc float64
+				i := base + x
+				for t := range p.idxOff {
+					acc += p.weight[t] * p.data[t][i+p.idxOff[t]]
+				}
+				dst[i] = acc
+			}
+		}
+	}
+	return nil
+}
+
+// tile is one blocked sub-domain.
+type tile struct {
+	x0, x1, y0, y1, z0, z1 int
+}
+
+// Run executes the kernel over the full interior with the given tuning
+// vector: the domain is decomposed into bx×by×bz tiles, consecutive runs of
+// c tiles form dispatch chunks, and workers claim chunks from a shared
+// counter. The x-innermost loop is unrolled by the factor u.
+func (r *Runner) Run(k *LinearKernel, out *grid.Grid, ins []*grid.Grid, tv tunespace.Vector) error {
+	if err := k.Validate(); err != nil {
+		return err
+	}
+	if err := checkGeometry(k, out, ins); err != nil {
+		return err
+	}
+	dims := 3
+	if out.NZ == 1 {
+		dims = 2
+		tv.Bz = 1
+	}
+	if err := tv.Validate(dims); err != nil {
+		return err
+	}
+
+	tiles := decompose(out, tv)
+	p := buildPlan(k, out, ins)
+	fp := detectFast(k, p)
+
+	workers := r.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(tiles) {
+		workers = len(tiles)
+	}
+
+	var next int64
+	chunk := tv.C
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				start := int(atomic.AddInt64(&next, int64(chunk))) - chunk
+				if start >= len(tiles) {
+					return
+				}
+				end := start + chunk
+				if end > len(tiles) {
+					end = len(tiles)
+				}
+				for _, t := range tiles[start:end] {
+					if fp != nil {
+						runTileFast(fp, out, t, tv.U)
+					} else {
+						runTile(p, out, t, tv.U)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return nil
+}
+
+// decompose splits the interior into tiles in z-major order.
+func decompose(out *grid.Grid, tv tunespace.Vector) []tile {
+	var tiles []tile
+	for z0 := 0; z0 < out.NZ; z0 += tv.Bz {
+		z1 := minInt(z0+tv.Bz, out.NZ)
+		for y0 := 0; y0 < out.NY; y0 += tv.By {
+			y1 := minInt(y0+tv.By, out.NY)
+			for x0 := 0; x0 < out.NX; x0 += tv.Bx {
+				x1 := minInt(x0+tv.Bx, out.NX)
+				tiles = append(tiles, tile{x0, x1, y0, y1, z0, z1})
+			}
+		}
+	}
+	return tiles
+}
+
+// runTile sweeps one tile with the requested unroll factor.
+func runTile(p *plan, out *grid.Grid, t tile, unroll int) {
+	dst := out.Data()
+	no := len(p.idxOff)
+	for z := t.z0; z < t.z1; z++ {
+		for y := t.y0; y < t.y1; y++ {
+			base := out.Index(t.x0, y, z)
+			n := t.x1 - t.x0
+			switch {
+			case unroll >= 8:
+				runRow8(p, dst, base, n, no)
+			case unroll >= 4:
+				runRow4(p, dst, base, n, no)
+			case unroll >= 2:
+				runRow2(p, dst, base, n, no)
+			default:
+				runRow1(p, dst, base, n, no)
+			}
+		}
+	}
+}
+
+// runRow1 is the plain rolled row sweep.
+func runRow1(p *plan, dst []float64, base, n, no int) {
+	for x := 0; x < n; x++ {
+		var acc float64
+		i := base + x
+		for t := 0; t < no; t++ {
+			acc += p.weight[t] * p.data[t][i+p.idxOff[t]]
+		}
+		dst[i] = acc
+	}
+}
+
+// runRow2 processes two consecutive points per iteration with independent
+// accumulators (unroll-by-2).
+func runRow2(p *plan, dst []float64, base, n, no int) {
+	x := 0
+	for ; x+2 <= n; x += 2 {
+		var a0, a1 float64
+		i := base + x
+		for t := 0; t < no; t++ {
+			w := p.weight[t]
+			d := p.data[t]
+			j := i + p.idxOff[t]
+			a0 += w * d[j]
+			a1 += w * d[j+1]
+		}
+		dst[i] = a0
+		dst[i+1] = a1
+	}
+	runRow1(p, dst, base+x, n-x, no)
+}
+
+// runRow4 processes four consecutive points per iteration (unroll-by-4).
+func runRow4(p *plan, dst []float64, base, n, no int) {
+	x := 0
+	for ; x+4 <= n; x += 4 {
+		var a0, a1, a2, a3 float64
+		i := base + x
+		for t := 0; t < no; t++ {
+			w := p.weight[t]
+			d := p.data[t]
+			j := i + p.idxOff[t]
+			a0 += w * d[j]
+			a1 += w * d[j+1]
+			a2 += w * d[j+2]
+			a3 += w * d[j+3]
+		}
+		dst[i] = a0
+		dst[i+1] = a1
+		dst[i+2] = a2
+		dst[i+3] = a3
+	}
+	runRow1(p, dst, base+x, n-x, no)
+}
+
+// runRow8 processes eight consecutive points per iteration (unroll-by-8).
+func runRow8(p *plan, dst []float64, base, n, no int) {
+	x := 0
+	for ; x+8 <= n; x += 8 {
+		var a0, a1, a2, a3, a4, a5, a6, a7 float64
+		i := base + x
+		for t := 0; t < no; t++ {
+			w := p.weight[t]
+			d := p.data[t]
+			j := i + p.idxOff[t]
+			a0 += w * d[j]
+			a1 += w * d[j+1]
+			a2 += w * d[j+2]
+			a3 += w * d[j+3]
+			a4 += w * d[j+4]
+			a5 += w * d[j+5]
+			a6 += w * d[j+6]
+			a7 += w * d[j+7]
+		}
+		dst[i] = a0
+		dst[i+1] = a1
+		dst[i+2] = a2
+		dst[i+3] = a3
+		dst[i+4] = a4
+		dst[i+5] = a5
+		dst[i+6] = a6
+		dst[i+7] = a7
+	}
+	runRow1(p, dst, base+x, n-x, no)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// FromStencil converts a model kernel (internal/stencil) into an executable
+// linear kernel with uniform averaging weights per buffer. The benchmark
+// constructors in kernels.go provide physically meaningful weights; this
+// generic conversion backs the training-set generator, which only needs
+// *some* executable realization of each generated shape.
+func FromStencil(k *stencil.Kernel) *LinearKernel {
+	pts := k.Shape.Points()
+	lk := &LinearKernel{Name: k.Name, Buffers: k.Buffers}
+	total := float64(k.Shape.TotalAccesses())
+	for _, p := range pts {
+		m := k.Shape.Multiplicity(p)
+		for c := 0; c < m; c++ {
+			buf := c % k.Buffers
+			lk.Terms = append(lk.Terms, Term{Buffer: buf, Offset: p, Weight: 1 / total})
+		}
+	}
+	return lk
+}

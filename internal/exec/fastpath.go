@@ -1,0 +1,155 @@
+package exec
+
+import "repro/internal/grid"
+
+// Fast paths: fully specialized inner loops for the most common stencil
+// shapes. The generic runRow* loops iterate over a term table; for hot
+// kernels like the 7-point laplacian that indirection dominates, so the
+// runner dispatches to a shape-specialized body when one matches. The
+// specialization is detected structurally (offsets and weights), never by
+// name, so DSL-defined kernels benefit too.
+
+// fastKind enumerates the specialized bodies.
+type fastKind int
+
+const (
+	fastNone fastKind = iota
+	// fastStar7 is the 3-D 7-point star: centre + 6 axis neighbours,
+	// arbitrary weights, single buffer.
+	fastStar7
+	// fastRow3 is the 1-D 3-point row stencil (x-1, x, x+1), single buffer.
+	fastRow3
+)
+
+// fastPlan holds the precomputed data of a specialized kernel.
+type fastPlan struct {
+	kind fastKind
+	data []float64
+	// star7: weights wC, wXp, wXm, wYp, wYm, wZp, wZm and index offsets.
+	w   [7]float64
+	off [7]int
+}
+
+// detectFast inspects a plan and returns a specialization when the kernel
+// matches one of the known shapes exactly.
+func detectFast(k *LinearKernel, p *plan) *fastPlan {
+	if k.Buffers != 1 {
+		return nil
+	}
+	switch len(k.Terms) {
+	case 7:
+		return detectStar7(k, p)
+	case 3:
+		return detectRow3(k, p)
+	}
+	return nil
+}
+
+// detectStar7 matches centre + ±x, ±y, ±z unit offsets.
+func detectStar7(k *LinearKernel, p *plan) *fastPlan {
+	want := [7][3]int{
+		{0, 0, 0}, {1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, 1}, {0, 0, -1},
+	}
+	fp := &fastPlan{kind: fastStar7, data: p.data[0]}
+	matched := 0
+	for slot, w := range want {
+		found := false
+		for ti, t := range k.Terms {
+			if t.Offset.X == w[0] && t.Offset.Y == w[1] && t.Offset.Z == w[2] {
+				fp.w[slot] = p.weight[ti]
+				fp.off[slot] = p.idxOff[ti]
+				found = true
+				matched++
+				break
+			}
+		}
+		if !found {
+			return nil
+		}
+	}
+	if matched != 7 {
+		return nil
+	}
+	return fp
+}
+
+// detectRow3 matches (x-1, x, x+1) with any weights.
+func detectRow3(k *LinearKernel, p *plan) *fastPlan {
+	want := [3][3]int{{0, 0, 0}, {1, 0, 0}, {-1, 0, 0}}
+	fp := &fastPlan{kind: fastRow3, data: p.data[0]}
+	matched := 0
+	for slot, w := range want {
+		for ti, t := range k.Terms {
+			if t.Offset.X == w[0] && t.Offset.Y == w[1] && t.Offset.Z == w[2] {
+				fp.w[slot] = p.weight[ti]
+				fp.off[slot] = p.idxOff[ti]
+				matched++
+				break
+			}
+		}
+		_ = slot
+	}
+	if matched != 3 {
+		return nil
+	}
+	return fp
+}
+
+// runRowStar7 computes one row of the 7-point star without the term table.
+// The unroll parameter selects the blocked body width like the generic path.
+func (fp *fastPlan) runRowStar7(dst []float64, base, n, unroll int) {
+	d := fp.data
+	wc, wxp, wxm, wyp, wym, wzp, wzm := fp.w[0], fp.w[1], fp.w[2], fp.w[3], fp.w[4], fp.w[5], fp.w[6]
+	oyp, oym, ozp, ozm := fp.off[3], fp.off[4], fp.off[5], fp.off[6]
+	x := 0
+	if unroll >= 2 {
+		for ; x+2 <= n; x += 2 {
+			i := base + x
+			dst[i] = wc*d[i] + wxp*d[i+1] + wxm*d[i-1] +
+				wyp*d[i+oyp] + wym*d[i+oym] + wzp*d[i+ozp] + wzm*d[i+ozm]
+			j := i + 1
+			dst[j] = wc*d[j] + wxp*d[j+1] + wxm*d[j-1] +
+				wyp*d[j+oyp] + wym*d[j+oym] + wzp*d[j+ozp] + wzm*d[j+ozm]
+		}
+	}
+	for ; x < n; x++ {
+		i := base + x
+		dst[i] = wc*d[i] + wxp*d[i+1] + wxm*d[i-1] +
+			wyp*d[i+oyp] + wym*d[i+oym] + wzp*d[i+ozp] + wzm*d[i+ozm]
+	}
+}
+
+// runRowRow3 computes one row of the 3-point x stencil.
+func (fp *fastPlan) runRowRow3(dst []float64, base, n, unroll int) {
+	d := fp.data
+	wc, wxp, wxm := fp.w[0], fp.w[1], fp.w[2]
+	x := 0
+	if unroll >= 2 {
+		for ; x+2 <= n; x += 2 {
+			i := base + x
+			dst[i] = wc*d[i] + wxp*d[i+1] + wxm*d[i-1]
+			dst[i+1] = wc*d[i+1] + wxp*d[i+2] + wxm*d[i]
+		}
+	}
+	for ; x < n; x++ {
+		i := base + x
+		dst[i] = wc*d[i] + wxp*d[i+1] + wxm*d[i-1]
+	}
+}
+
+// runTileFast sweeps one tile through the specialized body.
+func runTileFast(fp *fastPlan, out *grid.Grid, t tile, unroll int) {
+	dst := out.Data()
+	for z := t.z0; z < t.z1; z++ {
+		for y := t.y0; y < t.y1; y++ {
+			base := out.Index(t.x0, y, z)
+			n := t.x1 - t.x0
+			switch fp.kind {
+			case fastStar7:
+				fp.runRowStar7(dst, base, n, unroll)
+			case fastRow3:
+				fp.runRowRow3(dst, base, n, unroll)
+			}
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package exec
+
+import (
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/stencil"
+	"repro/internal/tunespace"
+)
+
+// Measurer times real executions of stencil instances. It implements the
+// same evaluation contract as the perfmodel simulator, so the autotuner can
+// run against either wall-clock measurements or the deterministic model
+// (EvaluateMode in the public API).
+type Measurer struct {
+	Runner *Runner
+	// Repetitions per measurement; the minimum time is reported, which is
+	// the standard noise-rejection practice for microbenchmarks.
+	Repetitions int
+
+	// cache of prepared workspaces keyed by geometry, to avoid reallocating
+	// hundreds of MB per evaluation during a search.
+	ws map[wsKey]*workspace
+}
+
+type wsKey struct {
+	size stencil.Size
+	halo int
+}
+
+type workspace struct {
+	out *grid.Grid
+	ins []*grid.Grid
+}
+
+// NewMeasurer returns a measurer with 3 repetitions.
+func NewMeasurer() *Measurer {
+	return &Measurer{Runner: NewRunner(), Repetitions: 3, ws: make(map[wsKey]*workspace)}
+}
+
+func (m *Measurer) workspaceFor(q stencil.Instance, k *LinearKernel) *workspace {
+	halo := k.MaxOffset()
+	key := wsKey{q.Size, halo}
+	if w, ok := m.ws[key]; ok && len(w.ins) >= k.Buffers {
+		return w
+	}
+	haloZ := halo
+	if q.Size.Is2D() {
+		haloZ = 0
+	}
+	w := &workspace{out: grid.New(q.Size.X, q.Size.Y, q.Size.Z, halo, haloZ)}
+	for b := 0; b < k.Buffers; b++ {
+		g := grid.New(q.Size.X, q.Size.Y, q.Size.Z, halo, haloZ)
+		g.FillPattern()
+		w.ins = append(w.ins, g)
+	}
+	m.ws[key] = w
+	return w
+}
+
+// Runtime measures the wall-clock seconds of one full sweep of the instance
+// under the tuning vector. The error is non-nil for invalid configurations.
+func (m *Measurer) Measure(q stencil.Instance, t tunespace.Vector) (float64, error) {
+	k := Executable(q.Kernel)
+	w := m.workspaceFor(q, k)
+	ins := w.ins[:k.Buffers]
+
+	best := 0.0
+	for rep := 0; rep < maxInt(1, m.Repetitions); rep++ {
+		start := time.Now()
+		if err := m.Runner.Run(k, w.out, ins, t); err != nil {
+			return 0, err
+		}
+		elapsed := time.Since(start).Seconds()
+		if rep == 0 || elapsed < best {
+			best = elapsed
+		}
+	}
+	return best, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

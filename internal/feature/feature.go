@@ -1,0 +1,406 @@
+// Package feature implements the stencil encoding framework of Section III:
+// it captures the static stencil description k = (shape, buffers, dtype), the
+// input size s and the tuning vector t into a single feature vector whose
+// components are real values normalized to [0, 1].
+//
+// Representation note. Feature vectors are stored sparsely (index/value
+// pairs): the dominant block is the dense 7×7×7 binary pattern matrix of
+// Sec. III-A, of which a typical stencil touches only a handful of cells.
+//
+// Implementation refinement (documented in DESIGN.md): the ordinal-regression
+// training of Sec. IV-D only compares executions of the *same* instance q, so
+// any feature depending on q alone cancels out of every within-query pair
+// difference. For the ranking function to specialize per stencil/size, the
+// encoding must contain q×t interaction terms. We therefore append a block of
+// hardware-independent interaction features (tile working set, boundary
+// fractions, tile counts, unroll×density, …) computed from q and t together,
+// plus quadratic terms that let the linear model express single-peak
+// preferences over log-scaled parameters.
+package feature
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stencil"
+	"repro/internal/tunespace"
+)
+
+// PatternRadius is the maximum neighbour offset representable in the dense
+// pattern block. Radius 3 covers every kernel in the paper (the 6th-order
+// laplacian reaches offset 3).
+const PatternRadius = 3
+
+// patternSide and patternBlock size the dense pattern block: 7³ = 343 cells.
+const (
+	patternSide  = 2*PatternRadius + 1
+	patternBlock = patternSide * patternSide * patternSide
+)
+
+// Feature indices of the named (non-pattern) components, offset past the
+// pattern block. Kept together so tests and the ablation harness can address
+// blocks symbolically.
+const (
+	idxPoints = patternBlock + iota
+	idxAccesses
+	idxMaxOffset
+	idxDims
+	idxBuffers
+	idxDType
+	idxSizeX
+	idxSizeY
+	idxSizeZ
+	idxSizeTotal
+	idxBx
+	idxBy
+	idxBz
+	idxUnroll
+	idxChunk
+	idxBx2
+	idxBy2
+	idxBz2
+	idxUnroll2
+	idxChunk2
+	idxTileWS
+	idxTileWS2
+	idxFracX
+	idxFracY
+	idxFracZ
+	idxNumTiles
+	idxTileGroups
+	idxTileGroups2
+	idxUnrollDensity
+	idxInnerStream
+	idxInnerStream2
+	idxDTypeBx
+	idxDensityWS
+	// One-hot binned blocks: a linear ranker cannot express the
+	// thresholded cache-fit behaviour of real machines from smooth inputs
+	// alone, so each of these gives it a free-form piecewise shape.
+	idxWSBin0                                   // 8 bins over log2(tile working set)
+	idxBxBin0      = idxWSBin0 + wsBins         // 10 bins over log2(bx)
+	idxByBin0      = idxBxBin0 + blockBins      // 10 bins over log2(by)
+	idxBzBin0      = idxByBin0 + blockBins      // 10 bins over log2(bz)
+	idxUnrollBin0  = idxBzBin0 + blockBins      // 9 bins: u = 0..8
+	idxChunkBin0   = idxUnrollBin0 + unrollBins // 5 bins over log2(c)
+	idxBalanceBin0 = idxChunkBin0 + chunkBins   // 6 bins over log2(groups/cores-ish)
+	// Dim is the total feature-vector dimensionality.
+	Dim = idxBalanceBin0 + balanceBins
+)
+
+// Bin counts for the one-hot blocks.
+const (
+	wsBins      = 8
+	blockBins   = 10
+	unrollBins  = 9
+	chunkBins   = 5
+	balanceBins = 6
+)
+
+// normalization caps, chosen so every encountered value lands in [0, 1].
+const (
+	maxMultiplicity = 3.0 // pattern cell multiplicities are clipped here
+	maxPoints       = 343.0
+	maxAccesses     = 512.0
+	maxBuffers      = 4.0
+	maxLogExtent    = 12.0 // grids up to 4096 per dimension
+	maxLogTotal     = 36.0
+	maxLogBlock     = 10.0 // blocks up to 1024
+	maxLogChunk     = 4.0  // chunks up to 16
+	maxLogWS        = 32.0 // tile working sets up to 4 GiB
+	maxLogTiles     = 36.0
+	maxLogInner     = 14.0 // bx*(u+1) up to 1024*9
+)
+
+// Vector is a sparse feature vector with the fixed dimensionality Dim.
+// Indices are strictly increasing.
+type Vector struct {
+	Idx []int32
+	Val []float64
+}
+
+// Get returns the value at feature index i (0 when absent).
+func (v Vector) Get(i int) float64 {
+	// Binary search over the ordered indices.
+	lo, hi := 0, len(v.Idx)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case int(v.Idx[mid]) < i:
+			lo = mid + 1
+		case int(v.Idx[mid]) > i:
+			hi = mid
+		default:
+			return v.Val[mid]
+		}
+	}
+	return 0
+}
+
+// NNZ returns the number of stored (non-zero) components.
+func (v Vector) NNZ() int { return len(v.Idx) }
+
+// Dot returns the inner product with a dense weight vector of length Dim.
+func (v Vector) Dot(w []float64) float64 {
+	var s float64
+	for i, idx := range v.Idx {
+		s += v.Val[i] * w[idx]
+	}
+	return s
+}
+
+// AddInto accumulates scale*v into the dense vector w.
+func (v Vector) AddInto(w []float64, scale float64) {
+	for i, idx := range v.Idx {
+		w[idx] += scale * v.Val[i]
+	}
+}
+
+// DiffDot returns (a - b)·w without materializing the difference.
+func DiffDot(w []float64, a, b Vector) float64 { return a.Dot(w) - b.Dot(w) }
+
+// DiffSquaredNorm returns ‖a − b‖² via an ordered merge of the two sparse
+// vectors.
+func DiffSquaredNorm(a, b Vector) float64 {
+	var s float64
+	i, j := 0, 0
+	for i < len(a.Idx) && j < len(b.Idx) {
+		switch {
+		case a.Idx[i] < b.Idx[j]:
+			s += a.Val[i] * a.Val[i]
+			i++
+		case a.Idx[i] > b.Idx[j]:
+			s += b.Val[j] * b.Val[j]
+			j++
+		default:
+			d := a.Val[i] - b.Val[j]
+			s += d * d
+			i++
+			j++
+		}
+	}
+	for ; i < len(a.Idx); i++ {
+		s += a.Val[i] * a.Val[i]
+	}
+	for ; j < len(b.Idx); j++ {
+		s += b.Val[j] * b.Val[j]
+	}
+	return s
+}
+
+// AddDiffInto accumulates scale*(a-b) into the dense vector w.
+func AddDiffInto(w []float64, a, b Vector, scale float64) {
+	a.AddInto(w, scale)
+	b.AddInto(w, -scale)
+}
+
+// builder collects index/value pairs; indices must be appended in
+// increasing order.
+type builder struct {
+	idx []int32
+	val []float64
+}
+
+func (b *builder) put(i int, v float64) {
+	if v == 0 {
+		return
+	}
+	if n := len(b.idx); n > 0 && int(b.idx[n-1]) >= i {
+		panic(fmt.Sprintf("feature: indices out of order: %d after %d", i, b.idx[n-1]))
+	}
+	b.idx = append(b.idx, int32(i))
+	b.val = append(b.val, v)
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func log2(v float64) float64 {
+	if v <= 1 {
+		return 0
+	}
+	return math.Log2(v)
+}
+
+// Blocks selects which feature blocks the encoder emits; used by the feature
+// ablation experiment. The zero value emits nothing — use AllBlocks.
+type Blocks struct {
+	Pattern      bool // dense pattern matrix + kernel summary
+	Size         bool // input extent features
+	Tuning       bool // raw tuning parameters and squares
+	Interactions bool // q×t interaction terms
+}
+
+// AllBlocks enables the full encoding.
+func AllBlocks() Blocks {
+	return Blocks{Pattern: true, Size: true, Tuning: true, Interactions: true}
+}
+
+// Encoder turns stencil executions into feature vectors.
+type Encoder struct {
+	blocks Blocks
+}
+
+// NewEncoder returns the default full encoder.
+func NewEncoder() *Encoder { return &Encoder{blocks: AllBlocks()} }
+
+// NewEncoderWithBlocks returns an encoder restricted to the given blocks
+// (feature-ablation support).
+func NewEncoderWithBlocks(b Blocks) *Encoder { return &Encoder{blocks: b} }
+
+// Encode produces the feature vector for the execution (q.Kernel, q.Size, t).
+// Every emitted component lies in [0, 1].
+func (e *Encoder) Encode(q stencil.Instance, t tunespace.Vector) Vector {
+	var b builder
+	k := q.Kernel
+	sz := q.Size
+
+	if e.blocks.Pattern {
+		// Dense pattern block: cell (x,y,z) at flat index
+		// ((z+R)*side + (y+R))*side + (x+R). Points() is already in
+		// ascending (z,y,x) order, matching increasing flat indices.
+		for _, p := range k.Shape.Points() {
+			if p.ChebyshevNorm() > PatternRadius {
+				continue
+			}
+			flat := ((p.Z+PatternRadius)*patternSide+(p.Y+PatternRadius))*patternSide +
+				(p.X + PatternRadius)
+			m := float64(k.Shape.Multiplicity(p))
+			b.put(flat, clamp01(m/maxMultiplicity))
+		}
+		b.put(idxPoints, clamp01(float64(k.Shape.Size())/maxPoints))
+		b.put(idxAccesses, clamp01(float64(k.Shape.TotalAccesses())/maxAccesses))
+		b.put(idxMaxOffset, clamp01(float64(k.Shape.MaxOffset())/PatternRadius))
+		b.put(idxDims, float64(k.Dims()-2)) // 0 for 2-D, 1 for 3-D
+		b.put(idxBuffers, clamp01(float64(k.Buffers)/maxBuffers))
+		b.put(idxDType, k.Type.FeatureValue())
+	}
+
+	if e.blocks.Size {
+		b.put(idxSizeX, clamp01(log2(float64(sz.X))/maxLogExtent))
+		b.put(idxSizeY, clamp01(log2(float64(sz.Y))/maxLogExtent))
+		b.put(idxSizeZ, clamp01(log2(float64(sz.Z))/maxLogExtent))
+		b.put(idxSizeTotal, clamp01(log2(float64(sz.Points()))/maxLogTotal))
+	}
+
+	lbx := log2(float64(t.Bx)) / maxLogBlock
+	lby := log2(float64(t.By)) / maxLogBlock
+	lbz := log2(float64(t.Bz)) / maxLogBlock
+	un := float64(t.U) / tunespace.MaxUnroll
+	lch := log2(float64(t.C)) / maxLogChunk
+
+	if e.blocks.Tuning {
+		b.put(idxBx, clamp01(lbx))
+		b.put(idxBy, clamp01(lby))
+		b.put(idxBz, clamp01(lbz))
+		b.put(idxUnroll, clamp01(un))
+		b.put(idxChunk, clamp01(lch))
+		b.put(idxBx2, clamp01(lbx*lbx))
+		b.put(idxBy2, clamp01(lby*lby))
+		b.put(idxBz2, clamp01(lbz*lbz))
+		b.put(idxUnroll2, clamp01(un*un))
+		b.put(idxChunk2, clamp01(lch*lch))
+	}
+
+	if e.blocks.Interactions {
+		// Effective tile extents never exceed the grid.
+		ebx := min(t.Bx, sz.X)
+		eby := min(t.By, sz.Y)
+		ebz := min(t.Bz, sz.Z)
+
+		ws := float64(ebx) * float64(eby) * float64(ebz) *
+			float64(k.Type.Bytes()) * float64(k.Buffers)
+		lws := log2(ws) / maxLogWS
+		b.put(idxTileWS, clamp01(lws))
+		b.put(idxTileWS2, clamp01(lws*lws))
+
+		b.put(idxFracX, clamp01(float64(ebx)/float64(sz.X)))
+		b.put(idxFracY, clamp01(float64(eby)/float64(sz.Y)))
+		b.put(idxFracZ, clamp01(float64(ebz)/float64(sz.Z)))
+
+		tiles := float64(ceilDiv(sz.X, t.Bx)) * float64(ceilDiv(sz.Y, t.By)) *
+			float64(ceilDiv(sz.Z, max(1, t.Bz)))
+		ltiles := log2(tiles) / maxLogTiles
+		b.put(idxNumTiles, clamp01(ltiles))
+
+		groups := tiles / float64(t.C)
+		lgroups := log2(math.Max(1, groups)) / maxLogTiles
+		b.put(idxTileGroups, clamp01(lgroups))
+		b.put(idxTileGroups2, clamp01(lgroups*lgroups))
+
+		density := float64(k.Shape.TotalAccesses()) / maxAccesses
+		b.put(idxUnrollDensity, clamp01(un*density))
+
+		inner := log2(float64(ebx)*float64(t.U+1)) / maxLogInner
+		b.put(idxInnerStream, clamp01(inner))
+		b.put(idxInnerStream2, clamp01(inner*inner))
+
+		b.put(idxDTypeBx, clamp01(k.Type.FeatureValue()*lbx))
+		b.put(idxDensityWS, clamp01(density*lws))
+
+		// Working-set bin: log2(WS bytes) mapped to 8 bins over [10, 26).
+		wsBin := binIndex(log2(ws), 10, 26, wsBins)
+		b.put(idxWSBin0+wsBin, 1)
+	}
+
+	if e.blocks.Tuning {
+		// One-hot power-of-two block bins: log2(b) in [1, 10] → bins 0..9.
+		b.put(idxBxBin0+binIndex(log2(float64(t.Bx)), 1, 11, blockBins), 1)
+		b.put(idxByBin0+binIndex(log2(float64(t.By)), 1, 11, blockBins), 1)
+		if t.Bz > 1 {
+			b.put(idxBzBin0+binIndex(log2(float64(t.Bz)), 1, 11, blockBins), 1)
+		}
+		u := t.U
+		if u < 0 {
+			u = 0
+		} else if u >= unrollBins {
+			u = unrollBins - 1
+		}
+		b.put(idxUnrollBin0+u, 1)
+		b.put(idxChunkBin0+binIndex(log2(float64(t.C)), 0, 5, chunkBins), 1)
+	}
+
+	if e.blocks.Interactions {
+		// Parallel-balance bin: log2(dispatch groups) over [0, 18).
+		ebx := min(t.Bx, sz.X)
+		eby := min(t.By, sz.Y)
+		_ = ebx
+		_ = eby
+		tiles := float64(ceilDiv(sz.X, t.Bx)) * float64(ceilDiv(sz.Y, t.By)) *
+			float64(ceilDiv(sz.Z, max(1, t.Bz)))
+		groups := math.Max(1, tiles/float64(t.C))
+		b.put(idxBalanceBin0+binIndex(log2(groups), 0, 18, balanceBins), 1)
+	}
+
+	return Vector{Idx: b.idx, Val: b.val}
+}
+
+// binIndex maps v into n equal bins spanning [lo, hi), clamping outliers
+// into the first/last bin.
+func binIndex(v, lo, hi float64, n int) int {
+	if v < lo {
+		return 0
+	}
+	if v >= hi {
+		return n - 1
+	}
+	idx := int(float64(n) * (v - lo) / (hi - lo))
+	if idx >= n {
+		idx = n - 1
+	}
+	return idx
+}
+
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		return a
+	}
+	return (a + b - 1) / b
+}

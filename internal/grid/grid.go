@@ -1,0 +1,145 @@
+// Package grid provides the field substrate stencils operate on: flat-array
+// 2-D/3-D grids with halo (ghost-cell) regions sized to a stencil's maximum
+// offset, deterministic initialization patterns, and tolerant comparison used
+// by the executor's correctness tests.
+//
+// Grids store float64 throughout; the stencil DataType only affects the
+// performance model and the feature encoding. Using one element type keeps
+// the executor simple without changing any learning-relevant behaviour.
+package grid
+
+import (
+	"fmt"
+	"math"
+)
+
+// Grid is a dense 3-D field with a halo of width Halo on every side. 2-D
+// grids are represented with NZ = 1 (and a halo in x/y only if HaloZ is 0).
+// Data is laid out x-fastest: index = ((z * strideY) + y) * strideX + x,
+// with coordinates including the halo.
+type Grid struct {
+	NX, NY, NZ int // interior extent
+	Halo       int // halo width in x and y
+	HaloZ      int // halo width in z (0 for 2-D grids)
+
+	strideX, strideY int
+	data             []float64
+}
+
+// New allocates a grid with the given interior size and halo widths.
+// For 2-D fields pass nz = 1 and haloZ = 0.
+func New(nx, ny, nz, halo, haloZ int) *Grid {
+	if nx <= 0 || ny <= 0 || nz <= 0 {
+		panic(fmt.Sprintf("grid: non-positive extent %dx%dx%d", nx, ny, nz))
+	}
+	if halo < 0 || haloZ < 0 {
+		panic("grid: negative halo")
+	}
+	g := &Grid{NX: nx, NY: ny, NZ: nz, Halo: halo, HaloZ: haloZ}
+	g.strideX = nx + 2*halo
+	g.strideY = ny + 2*halo
+	g.data = make([]float64, g.strideX*g.strideY*(nz+2*haloZ))
+	return g
+}
+
+// New2D allocates a planar grid with the given halo.
+func New2D(nx, ny, halo int) *Grid { return New(nx, ny, 1, halo, 0) }
+
+// Len returns the total allocated element count including halos.
+func (g *Grid) Len() int { return len(g.data) }
+
+// InteriorPoints returns the number of interior (non-halo) cells.
+func (g *Grid) InteriorPoints() int { return g.NX * g.NY * g.NZ }
+
+// Index returns the flat index of interior coordinate (x, y, z); the
+// coordinate (0,0,0) is the first interior cell. Offsets may reach into the
+// halo: x ∈ [-Halo, NX+Halo).
+func (g *Grid) Index(x, y, z int) int {
+	return ((z+g.HaloZ)*g.strideY+(y+g.Halo))*g.strideX + (x + g.Halo)
+}
+
+// At returns the value at interior coordinate (x, y, z).
+func (g *Grid) At(x, y, z int) float64 { return g.data[g.Index(x, y, z)] }
+
+// Set stores v at interior coordinate (x, y, z).
+func (g *Grid) Set(x, y, z int, v float64) { g.data[g.Index(x, y, z)] = v }
+
+// Data exposes the raw backing slice for kernel inner loops.
+func (g *Grid) Data() []float64 { return g.data }
+
+// StrideX returns the x-stride (allocated row length).
+func (g *Grid) StrideX() int { return g.strideX }
+
+// StrideY returns the number of allocated rows per plane.
+func (g *Grid) StrideY() int { return g.strideY }
+
+// OffsetIndex converts a relative stencil offset to a flat-index delta, so
+// kernels can precompute neighbour displacements once.
+func (g *Grid) OffsetIndex(dx, dy, dz int) int {
+	return (dz*g.strideY+dy)*g.strideX + dx
+}
+
+// Fill sets every cell (halo included) to v.
+func (g *Grid) Fill(v float64) {
+	for i := range g.data {
+		g.data[i] = v
+	}
+}
+
+// FillPattern initializes every cell (halo included) with a smooth
+// deterministic function of its coordinates, so different tunings of the same
+// kernel can be checked for bitwise-comparable results.
+func (g *Grid) FillPattern() {
+	for z := -g.HaloZ; z < g.NZ+g.HaloZ; z++ {
+		for y := -g.Halo; y < g.NY+g.Halo; y++ {
+			base := g.Index(-g.Halo, y, z)
+			for i, x := 0, -g.Halo; x < g.NX+g.Halo; i, x = i+1, x+1 {
+				g.data[base+i] = math.Sin(float64(x)*0.37) +
+					math.Cos(float64(y)*0.21) + 0.5*math.Sin(float64(z)*0.11)
+			}
+		}
+	}
+}
+
+// Clone returns a deep copy.
+func (g *Grid) Clone() *Grid {
+	c := *g
+	c.data = make([]float64, len(g.data))
+	copy(c.data, g.data)
+	return &c
+}
+
+// MaxAbsDiff returns the maximum absolute interior difference between two
+// grids of identical geometry. It panics if the geometries differ.
+func MaxAbsDiff(a, b *Grid) float64 {
+	if a.NX != b.NX || a.NY != b.NY || a.NZ != b.NZ {
+		panic("grid: geometry mismatch")
+	}
+	var m float64
+	for z := 0; z < a.NZ; z++ {
+		for y := 0; y < a.NY; y++ {
+			for x := 0; x < a.NX; x++ {
+				d := math.Abs(a.At(x, y, z) - b.At(x, y, z))
+				if d > m {
+					m = d
+				}
+			}
+		}
+	}
+	return m
+}
+
+// InteriorSum returns the sum of all interior cells (a cheap checksum for
+// tests).
+func (g *Grid) InteriorSum() float64 {
+	var s float64
+	for z := 0; z < g.NZ; z++ {
+		for y := 0; y < g.NY; y++ {
+			base := g.Index(0, y, z)
+			for x := 0; x < g.NX; x++ {
+				s += g.data[base+x]
+			}
+		}
+	}
+	return s
+}

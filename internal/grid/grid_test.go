@@ -1,0 +1,178 @@
+package grid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewGeometry(t *testing.T) {
+	g := New(8, 6, 4, 2, 1)
+	if g.StrideX() != 12 || g.StrideY() != 10 {
+		t.Errorf("strides = %d,%d, want 12,10", g.StrideX(), g.StrideY())
+	}
+	if g.Len() != 12*10*6 {
+		t.Errorf("Len = %d, want %d", g.Len(), 12*10*6)
+	}
+	if g.InteriorPoints() != 8*6*4 {
+		t.Errorf("InteriorPoints = %d", g.InteriorPoints())
+	}
+}
+
+func TestNew2D(t *testing.T) {
+	g := New2D(10, 5, 1)
+	if g.NZ != 1 || g.HaloZ != 0 {
+		t.Errorf("2-D grid geometry wrong: nz=%d haloZ=%d", g.NZ, g.HaloZ)
+	}
+	if g.Len() != 12*7*1 {
+		t.Errorf("Len = %d, want 84", g.Len())
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero-extent":   func() { New(0, 1, 1, 0, 0) },
+		"negative-halo": func() { New(4, 4, 4, -1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSetAtRoundTrip(t *testing.T) {
+	g := New(4, 4, 4, 1, 1)
+	g.Set(2, 3, 1, 42)
+	if got := g.At(2, 3, 1); got != 42 {
+		t.Errorf("At = %v, want 42", got)
+	}
+	// Halo coordinates are addressable.
+	g.Set(-1, -1, -1, 7)
+	if got := g.At(-1, -1, -1); got != 7 {
+		t.Errorf("halo At = %v, want 7", got)
+	}
+}
+
+func TestIndexBijective(t *testing.T) {
+	g := New(5, 4, 3, 2, 1)
+	seen := map[int]bool{}
+	for z := -g.HaloZ; z < g.NZ+g.HaloZ; z++ {
+		for y := -g.Halo; y < g.NY+g.Halo; y++ {
+			for x := -g.Halo; x < g.NX+g.Halo; x++ {
+				idx := g.Index(x, y, z)
+				if idx < 0 || idx >= g.Len() {
+					t.Fatalf("index (%d,%d,%d) = %d out of range", x, y, z, idx)
+				}
+				if seen[idx] {
+					t.Fatalf("index collision at (%d,%d,%d)", x, y, z)
+				}
+				seen[idx] = true
+			}
+		}
+	}
+	if len(seen) != g.Len() {
+		t.Fatalf("covered %d cells of %d", len(seen), g.Len())
+	}
+}
+
+func TestOffsetIndexConsistent(t *testing.T) {
+	g := New(8, 8, 8, 2, 2)
+	base := g.Index(3, 3, 3)
+	for _, d := range [][3]int{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}, {-2, 1, -1}, {2, -2, 2}} {
+		want := g.Index(3+d[0], 3+d[1], 3+d[2])
+		if got := base + g.OffsetIndex(d[0], d[1], d[2]); got != want {
+			t.Errorf("OffsetIndex%v: %d, want %d", d, got, want)
+		}
+	}
+}
+
+func TestFill(t *testing.T) {
+	g := New(3, 3, 3, 1, 1)
+	g.Fill(2.5)
+	for i, v := range g.Data() {
+		if v != 2.5 {
+			t.Fatalf("cell %d = %v after Fill", i, v)
+		}
+	}
+}
+
+func TestFillPatternDeterministicAndNonConstant(t *testing.T) {
+	a := New(8, 8, 4, 1, 1)
+	b := New(8, 8, 4, 1, 1)
+	a.FillPattern()
+	b.FillPattern()
+	if MaxAbsDiff(a, b) != 0 {
+		t.Error("FillPattern not deterministic")
+	}
+	if a.At(0, 0, 0) == a.At(1, 2, 3) && a.At(1, 0, 0) == a.At(2, 0, 0) {
+		t.Error("FillPattern looks constant")
+	}
+	// Halo cells must be initialized too (stencils read them).
+	if a.At(-1, -1, -1) == 0 && a.At(8, 8, 4) == 0 {
+		t.Error("halo not initialized by FillPattern")
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := New(4, 4, 1, 1, 0)
+	g.FillPattern()
+	c := g.Clone()
+	if MaxAbsDiff(g, c) != 0 {
+		t.Fatal("clone differs")
+	}
+	c.Set(0, 0, 0, 999)
+	if g.At(0, 0, 0) == 999 {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a := New(4, 4, 1, 0, 0)
+	b := New(4, 4, 1, 0, 0)
+	b.Set(2, 1, 0, -3)
+	if got := MaxAbsDiff(a, b); got != 3 {
+		t.Errorf("MaxAbsDiff = %v, want 3", got)
+	}
+}
+
+func TestMaxAbsDiffPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on geometry mismatch")
+		}
+	}()
+	MaxAbsDiff(New(4, 4, 1, 0, 0), New(5, 4, 1, 0, 0))
+}
+
+func TestInteriorSumIgnoresHalo(t *testing.T) {
+	g := New(2, 2, 1, 1, 0)
+	g.Fill(100) // halo gets 100 too
+	for y := 0; y < 2; y++ {
+		for x := 0; x < 2; x++ {
+			g.Set(x, y, 0, 1)
+		}
+	}
+	if got := g.InteriorSum(); got != 4 {
+		t.Errorf("InteriorSum = %v, want 4 (halo must not count)", got)
+	}
+}
+
+func TestPropertySetAtConsistent(t *testing.T) {
+	g := New(16, 16, 8, 2, 2)
+	f := func(x, y, z uint8, v float64) bool {
+		if math.IsNaN(v) {
+			return true
+		}
+		xi, yi, zi := int(x)%16, int(y)%16, int(z)%8
+		g.Set(xi, yi, zi, v)
+		return g.At(xi, yi, zi) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

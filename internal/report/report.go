@@ -1,0 +1,86 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/trainer"
+)
+
+// Data bundles every experiment result that can appear in the report. Nil or
+// empty sections are skipped.
+type Data struct {
+	Table2     []trainer.Phases
+	Fig4       []bench.Fig4Row
+	Fig4Sizes  []int
+	Fig5       []bench.Fig5Series
+	Fig6       *bench.Fig6Result
+	Fig7       []bench.Fig7Row
+	Generated  time.Time
+	MachineTag string
+}
+
+// Write renders the full standalone HTML report.
+func Write(w io.Writer, d Data) error {
+	var b strings.Builder
+	b.WriteString(`<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>stenciltune experiment report</title>
+<style>
+body { font-family: sans-serif; max-width: 1020px; margin: 24px auto; color: #222; }
+h1 { font-size: 22px; } h2 { font-size: 17px; margin-top: 36px; }
+table { border-collapse: collapse; font-size: 13px; }
+td, th { border: 1px solid #ccc; padding: 4px 10px; text-align: right; }
+th { background: #f0f0f0; }
+.note { color: #666; font-size: 13px; }
+</style></head><body>
+`)
+	fmt.Fprintf(&b, "<h1>stenciltune — experiment report</h1>\n")
+	fmt.Fprintf(&b, `<p class="note">Reproduction of Cosenza et al., "Autotuning Stencil Computations with Structural Ordinal Regression Learning" (IPDPS 2017). Generated %s on %s.</p>`+"\n",
+		d.Generated.Format("2006-01-02 15:04"), escape(d.MachineTag))
+
+	if len(d.Table2) > 0 {
+		b.WriteString("<h2>Table II — training-phase costs</h2>\n<table>\n")
+		b.WriteString("<tr><th>TS size</th><th>TS compile (sim.)</th><th>TS generation (sim.)</th><th>training</th><th>regression</th></tr>\n")
+		for _, r := range d.Table2 {
+			fmt.Fprintf(&b, "<tr><td>%d</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td></tr>\n",
+				r.TSSize, fmtDur(r.TSCompile), fmtDur(r.TSGeneration),
+				fmtDur(r.Training), fmtDur(r.Regression))
+		}
+		b.WriteString("</table>\n")
+	}
+	if len(d.Fig4) > 0 {
+		b.WriteString("<h2>Fig. 4 — speedup vs GA-1024</h2>\n")
+		b.WriteString(Fig4Chart(d.Fig4, d.Fig4Sizes))
+	}
+	for _, s := range d.Fig5 {
+		fmt.Fprintf(&b, "<h2>Fig. 5 — %s</h2>\n", escape(s.Benchmark))
+		b.WriteString(Fig5Chart(s, d.Fig4Sizes))
+	}
+	if d.Fig6 != nil && len(d.Fig6.Taus) > 0 {
+		b.WriteString("<h2>Fig. 6 — per-instance Kendall τ</h2>\n")
+		b.WriteString(Fig6Chart(*d.Fig6))
+	}
+	if len(d.Fig7) > 0 {
+		b.WriteString("<h2>Fig. 7 — τ distribution by training-set size</h2>\n")
+		b.WriteString(Fig7Chart(d.Fig7))
+	}
+	b.WriteString("</body></html>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Hour:
+		return fmt.Sprintf("%.1f h", d.Hours())
+	case d >= time.Minute:
+		return fmt.Sprintf("%.1f m", d.Minutes())
+	case d >= time.Second:
+		return fmt.Sprintf("%.2f s", d.Seconds())
+	default:
+		return fmt.Sprintf("%.2f ms", float64(d.Microseconds())/1000)
+	}
+}

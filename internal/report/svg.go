@@ -1,0 +1,107 @@
+// Package report renders experiment results into a standalone HTML report
+// with inline SVG charts — publication-style counterparts of the paper's
+// figures, generated entirely with the standard library.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// svgCanvas accumulates SVG elements with a fixed coordinate system.
+type svgCanvas struct {
+	w, h int
+	b    strings.Builder
+}
+
+func newCanvas(w, h int) *svgCanvas {
+	c := &svgCanvas{w: w, h: h}
+	fmt.Fprintf(&c.b, `<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 %d %d" width="%d" height="%d" font-family="sans-serif">`,
+		w, h, w, h)
+	c.b.WriteString("\n")
+	return c
+}
+
+func (c *svgCanvas) String() string { return c.b.String() + "</svg>\n" }
+
+func (c *svgCanvas) rect(x, y, w, h float64, fill string) {
+	fmt.Fprintf(&c.b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+		x, y, w, h, fill)
+}
+
+func (c *svgCanvas) line(x1, y1, x2, y2 float64, stroke string, width float64) {
+	fmt.Fprintf(&c.b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="%.1f"/>`+"\n",
+		x1, y1, x2, y2, stroke, width)
+}
+
+func (c *svgCanvas) dashedLine(x1, y1, x2, y2 float64, stroke string, width float64) {
+	fmt.Fprintf(&c.b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="%.1f" stroke-dasharray="6,3"/>`+"\n",
+		x1, y1, x2, y2, stroke, width)
+}
+
+func (c *svgCanvas) polyline(points [][2]float64, stroke string, width float64) {
+	var sb strings.Builder
+	for i, p := range points {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%.1f,%.1f", p[0], p[1])
+	}
+	fmt.Fprintf(&c.b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="%.1f"/>`+"\n",
+		sb.String(), stroke, width)
+}
+
+func (c *svgCanvas) polygon(points [][2]float64, fill string, opacity float64) {
+	var sb strings.Builder
+	for i, p := range points {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%.1f,%.1f", p[0], p[1])
+	}
+	fmt.Fprintf(&c.b, `<polygon points="%s" fill="%s" fill-opacity="%.2f"/>`+"\n",
+		sb.String(), fill, opacity)
+}
+
+func (c *svgCanvas) circle(x, y, r float64, fill string) {
+	fmt.Fprintf(&c.b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s"/>`+"\n", x, y, r, fill)
+}
+
+func (c *svgCanvas) text(x, y float64, size int, anchor, s string) {
+	fmt.Fprintf(&c.b, `<text x="%.1f" y="%.1f" font-size="%d" text-anchor="%s">%s</text>`+"\n",
+		x, y, size, anchor, escape(s))
+}
+
+func (c *svgCanvas) vtext(x, y float64, size int, s string) {
+	fmt.Fprintf(&c.b, `<text x="%.1f" y="%.1f" font-size="%d" text-anchor="end" transform="rotate(-45 %.1f %.1f)">%s</text>`+"\n",
+		x, y, size, x, y, escape(s))
+}
+
+func escape(s string) string {
+	s = strings.ReplaceAll(s, "&", "&amp;")
+	s = strings.ReplaceAll(s, "<", "&lt;")
+	s = strings.ReplaceAll(s, ">", "&gt;")
+	return s
+}
+
+// palette is the series colour cycle.
+var palette = []string{
+	"#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377", "#bbbbbb", "#222222",
+}
+
+func color(i int) string { return palette[i%len(palette)] }
+
+// niceCeil rounds v up to a visually pleasant axis limit.
+func niceCeil(v float64) float64 {
+	if v <= 0 {
+		return 1
+	}
+	mag := math.Pow(10, math.Floor(math.Log10(v)))
+	for _, m := range []float64{1, 1.2, 1.5, 2, 2.5, 3, 4, 5, 6, 8, 10} {
+		if v <= m*mag {
+			return m * mag
+		}
+	}
+	return 10 * mag
+}

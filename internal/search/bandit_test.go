@@ -1,0 +1,93 @@
+package search
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/perfmodel"
+	"repro/internal/stencil"
+	"repro/internal/tunespace"
+)
+
+func TestBanditRespectsBudget(t *testing.T) {
+	space := tunespace.NewSpace(3)
+	bp := NewBanditPortfolio()
+	for _, budget := range []int{8, 100, 300} {
+		r := bp.Search(space, quadObjective, budget, 1)
+		if r.Evaluations > budget {
+			t.Errorf("budget %d: used %d", budget, r.Evaluations)
+		}
+		if r.BestValue >= 1e308 {
+			t.Errorf("budget %d: found nothing", budget)
+		}
+	}
+}
+
+func TestBanditFindsGoodSolutions(t *testing.T) {
+	space := tunespace.NewSpace(3)
+	// The portfolio pays exploration overhead over a single engine, so the
+	// bound is looser than the fixed-engine test's 2.0.
+	var sum float64
+	for seed := int64(0); seed < 4; seed++ {
+		sum += NewBanditPortfolio().Search(space, quadObjective, 512, seed).BestValue
+	}
+	if avg := sum / 4; avg > 2.5 {
+		t.Errorf("bandit avg best %.3f after 512 evals, want ≤ 2.5", avg)
+	}
+}
+
+func TestBanditCompetitiveWithBestEngine(t *testing.T) {
+	// On the simulator, the portfolio should track the best fixed engine
+	// within a modest factor (it pays exploration overhead).
+	m := perfmodel.New(machine.XeonE52680v3())
+	q := stencil.Instance{Kernel: stencil.Laplacian(), Size: stencil.Size3D(128, 128, 128)}
+	obj := func(v tunespace.Vector) float64 { return m.Runtime(q, v) }
+	space := tunespace.NewSpace(3)
+
+	var bestFixed float64
+	for i, e := range Engines() {
+		r := e.Search(space, obj, 256, 5)
+		if i == 0 || r.BestValue < bestFixed {
+			bestFixed = r.BestValue
+		}
+	}
+	br := NewBanditPortfolio().Search(space, obj, 256, 5)
+	if br.BestValue > bestFixed*1.25 {
+		t.Errorf("bandit %.5f more than 25%% behind best fixed engine %.5f", br.BestValue, bestFixed)
+	}
+}
+
+func TestBanditDeterministic(t *testing.T) {
+	space := tunespace.NewSpace(2)
+	a := NewBanditPortfolio().Search(space, quadObjective, 200, 9)
+	b := NewBanditPortfolio().Search(space, quadObjective, 200, 9)
+	if a.Best != b.Best || a.BestValue != b.BestValue {
+		t.Error("bandit not deterministic for fixed seed")
+	}
+}
+
+func TestBanditHistoryMonotone(t *testing.T) {
+	space := tunespace.NewSpace(3)
+	r := NewBanditPortfolio().Search(space, quadObjective, 300, 2)
+	for i := 1; i < len(r.History); i++ {
+		if r.History[i].Value > r.History[i-1].Value {
+			t.Fatalf("best-so-far increased at %d", i)
+		}
+	}
+	if r.Engine != "bandit portfolio" {
+		t.Errorf("engine name %q", r.Engine)
+	}
+}
+
+func TestBanditTerminatesWhenArmsConverge(t *testing.T) {
+	// A constant objective gives no improvement: every engine memoises
+	// duplicates quickly. The portfolio must still terminate.
+	space := tunespace.NewSpace(2)
+	flat := func(v tunespace.Vector) float64 { return 1 }
+	done := make(chan Result, 1)
+	go func() { done <- NewBanditPortfolio().Search(space, flat, 10_000, 4) }()
+	r := <-done
+	if r.BestValue != 1 {
+		t.Errorf("best %v on flat objective", r.BestValue)
+	}
+}

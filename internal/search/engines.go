@@ -1,0 +1,290 @@
+package search
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/tunespace"
+)
+
+// ---------------------------------------------------------------------------
+// Random search
+
+// RandomSearch samples the space uniformly — the weakest baseline and a
+// sanity floor for the others.
+type RandomSearch struct{}
+
+// NewRandomSearch returns a random-search engine.
+func NewRandomSearch() *RandomSearch { return &RandomSearch{} }
+
+// Name implements Engine.
+func (*RandomSearch) Name() string { return "random" }
+
+// Search implements Engine.
+func (*RandomSearch) Search(space tunespace.Space, obj Objective, budget int, seed int64) Result {
+	start := time.Now()
+	rng := rand.New(rand.NewSource(seed))
+	t := newTracker(obj, budget)
+	for !t.exhausted() {
+		if _, ok := t.eval(space.Random(rng)); !ok {
+			break
+		}
+	}
+	return t.result("random", start)
+}
+
+// ---------------------------------------------------------------------------
+// Generational GA
+
+// GenerationalGA evolves a full population each generation with tournament
+// selection, uniform crossover, mutation and elitism. It is the paper's base
+// configuration (Fig. 4 speedups are relative to its 1024-evaluation result).
+type GenerationalGA struct {
+	PopSize      int
+	TournamentK  int
+	CrossoverP   float64
+	MutationRate float64
+	Elites       int
+}
+
+// NewGenerationalGA returns the engine with the standard configuration.
+func NewGenerationalGA() *GenerationalGA {
+	return &GenerationalGA{PopSize: 32, TournamentK: 3, CrossoverP: 0.9, MutationRate: 0.25, Elites: 2}
+}
+
+// Name implements Engine.
+func (*GenerationalGA) Name() string { return "genetic algorithm" }
+
+// Search implements Engine.
+func (g *GenerationalGA) Search(space tunespace.Space, obj Objective, budget int, seed int64) Result {
+	start := time.Now()
+	rng := rand.New(rand.NewSource(seed))
+	t := newTracker(obj, budget)
+
+	pop := initPopulation(space, rng, t, g.PopSize)
+	for !t.exhausted() && len(pop) > 0 {
+		sortByFitness(pop)
+		next := make([]individual, 0, g.PopSize)
+		// Elitism: carry the best individuals unchanged (no re-evaluation).
+		for i := 0; i < g.Elites && i < len(pop); i++ {
+			next = append(next, pop[i])
+		}
+		for len(next) < g.PopSize && !t.exhausted() {
+			a := tournament(pop, rng, g.TournamentK)
+			b := tournament(pop, rng, g.TournamentK)
+			child := a.v
+			if rng.Float64() < g.CrossoverP {
+				child = space.Crossover(rng, a.v, b.v)
+			}
+			child = space.Mutate(rng, child, g.MutationRate)
+			fit, ok := t.eval(child)
+			if !ok {
+				break
+			}
+			next = append(next, individual{child, fit})
+		}
+		pop = next
+	}
+	return t.result(g.Name(), start)
+}
+
+// ---------------------------------------------------------------------------
+// Steady-state GA
+
+// SteadyStateGA breeds one child at a time and replaces the current worst
+// individual when the child improves on it — the "sGA" of Fig. 4.
+type SteadyStateGA struct {
+	PopSize      int
+	TournamentK  int
+	MutationRate float64
+}
+
+// NewSteadyStateGA returns the engine with the standard configuration.
+func NewSteadyStateGA() *SteadyStateGA {
+	return &SteadyStateGA{PopSize: 32, TournamentK: 3, MutationRate: 0.25}
+}
+
+// Name implements Engine.
+func (*SteadyStateGA) Name() string { return "sGA" }
+
+// Search implements Engine.
+func (g *SteadyStateGA) Search(space tunespace.Space, obj Objective, budget int, seed int64) Result {
+	start := time.Now()
+	rng := rand.New(rand.NewSource(seed))
+	t := newTracker(obj, budget)
+
+	pop := initPopulation(space, rng, t, g.PopSize)
+	for !t.exhausted() && len(pop) >= 2 {
+		a := tournament(pop, rng, g.TournamentK)
+		b := tournament(pop, rng, g.TournamentK)
+		child := space.Mutate(rng, space.Crossover(rng, a.v, b.v), g.MutationRate)
+		fit, ok := t.eval(child)
+		if !ok {
+			break
+		}
+		// Replace the worst member if the child beats it.
+		worst := 0
+		for i := range pop {
+			if pop[i].fit > pop[worst].fit {
+				worst = i
+			}
+		}
+		if fit < pop[worst].fit {
+			pop[worst] = individual{child, fit}
+		}
+	}
+	return t.result(g.Name(), start)
+}
+
+// ---------------------------------------------------------------------------
+// Differential evolution
+
+// DifferentialEvolution implements DE/rand/1/bin adapted to the integer
+// tuning space via Space.Blend.
+type DifferentialEvolution struct {
+	PopSize    int
+	F          float64 // differential weight
+	CrossoverP float64
+}
+
+// NewDifferentialEvolution returns the engine with the standard configuration.
+func NewDifferentialEvolution() *DifferentialEvolution {
+	return &DifferentialEvolution{PopSize: 32, F: 0.7, CrossoverP: 0.5}
+}
+
+// Name implements Engine.
+func (*DifferentialEvolution) Name() string { return "differential evolution" }
+
+// Search implements Engine.
+func (de *DifferentialEvolution) Search(space tunespace.Space, obj Objective, budget int, seed int64) Result {
+	start := time.Now()
+	rng := rand.New(rand.NewSource(seed))
+	t := newTracker(obj, budget)
+
+	pop := initPopulation(space, rng, t, de.PopSize)
+	for !t.exhausted() && len(pop) >= 4 {
+		for i := range pop {
+			if t.exhausted() {
+				break
+			}
+			// Pick three distinct partners.
+			a, b, c := distinctThree(rng, len(pop), i)
+			mutant := space.Blend(pop[a].v, pop[b].v, pop[c].v, de.F)
+			trial := pop[i].v
+			if rng.Float64() < de.CrossoverP {
+				trial = space.Crossover(rng, mutant, pop[i].v)
+			} else {
+				trial = mutant
+			}
+			fit, ok := t.eval(trial)
+			if !ok {
+				break
+			}
+			if fit < pop[i].fit {
+				pop[i] = individual{trial, fit}
+			}
+		}
+	}
+	return t.result(de.Name(), start)
+}
+
+// ---------------------------------------------------------------------------
+// Evolution strategy
+
+// EvolutionStrategy is a (μ+λ) ES: the μ best parents generate λ mutated
+// offspring; parents and offspring compete for survival.
+type EvolutionStrategy struct {
+	Mu, Lambda   int
+	MutationRate float64
+}
+
+// NewEvolutionStrategy returns the engine with the standard configuration.
+func NewEvolutionStrategy() *EvolutionStrategy {
+	return &EvolutionStrategy{Mu: 8, Lambda: 24, MutationRate: 0.4}
+}
+
+// Name implements Engine.
+func (*EvolutionStrategy) Name() string { return "evolutive strategy" }
+
+// Search implements Engine.
+func (es *EvolutionStrategy) Search(space tunespace.Space, obj Objective, budget int, seed int64) Result {
+	start := time.Now()
+	rng := rand.New(rand.NewSource(seed))
+	t := newTracker(obj, budget)
+
+	pop := initPopulation(space, rng, t, es.Mu+es.Lambda)
+	for !t.exhausted() && len(pop) > 0 {
+		sortByFitness(pop)
+		mu := es.Mu
+		if mu > len(pop) {
+			mu = len(pop)
+		}
+		parents := pop[:mu]
+		offspring := make([]individual, 0, es.Lambda)
+		for k := 0; k < es.Lambda && !t.exhausted(); k++ {
+			p := parents[rng.Intn(len(parents))]
+			child := space.Mutate(rng, p.v, es.MutationRate)
+			fit, ok := t.eval(child)
+			if !ok {
+				break
+			}
+			offspring = append(offspring, individual{child, fit})
+		}
+		pop = append(append([]individual(nil), parents...), offspring...)
+	}
+	return t.result(es.Name(), start)
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+
+func initPopulation(space tunespace.Space, rng *rand.Rand, t *tracker, n int) []individual {
+	pop := make([]individual, 0, n)
+	for i := 0; i < n && !t.exhausted(); i++ {
+		v := space.Random(rng)
+		fit, ok := t.eval(v)
+		if !ok {
+			break
+		}
+		pop = append(pop, individual{v, fit})
+	}
+	return pop
+}
+
+func sortByFitness(pop []individual) {
+	sort.SliceStable(pop, func(a, b int) bool { return pop[a].fit < pop[b].fit })
+}
+
+func tournament(pop []individual, rng *rand.Rand, k int) individual {
+	best := pop[rng.Intn(len(pop))]
+	for i := 1; i < k; i++ {
+		c := pop[rng.Intn(len(pop))]
+		if c.fit < best.fit {
+			best = c
+		}
+	}
+	return best
+}
+
+// distinctThree picks three distinct indices, all different from excluded.
+func distinctThree(rng *rand.Rand, n, excluded int) (int, int, int) {
+	pick := func(used ...int) int {
+		for {
+			v := rng.Intn(n)
+			ok := v != excluded
+			for _, u := range used {
+				if v == u {
+					ok = false
+				}
+			}
+			if ok {
+				return v
+			}
+		}
+	}
+	a := pick()
+	b := pick(a)
+	c := pick(a, b)
+	return a, b, c
+}

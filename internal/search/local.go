@@ -1,0 +1,127 @@
+package search
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/tunespace"
+)
+
+// This file adds the stochastic local-search engines PATUS also ships
+// besides its genetic algorithm (Sec. II: "PATUS also includes other
+// stochastic and heuristic search techniques"): simulated annealing and a
+// randomized hill climber with restarts.
+
+// SimulatedAnnealing walks the tuning space accepting worsening moves with a
+// temperature-controlled probability, geometric cooling.
+type SimulatedAnnealing struct {
+	// InitialTemp is the starting acceptance temperature relative to the
+	// first evaluation's value (default 0.5).
+	InitialTemp float64
+	// Cooling is the geometric cooling factor applied per step (default
+	// computed from the budget so the final temperature is ~1e-3 of the
+	// initial).
+	Cooling float64
+	// MutationRate drives the neighbour proposal (default 0.4).
+	MutationRate float64
+}
+
+// NewSimulatedAnnealing returns the engine with default settings.
+func NewSimulatedAnnealing() *SimulatedAnnealing {
+	return &SimulatedAnnealing{InitialTemp: 0.5, MutationRate: 0.4}
+}
+
+// Name implements Engine.
+func (*SimulatedAnnealing) Name() string { return "simulated annealing" }
+
+// Search implements Engine.
+func (sa *SimulatedAnnealing) Search(space tunespace.Space, obj Objective, budget int, seed int64) Result {
+	start := time.Now()
+	rng := rand.New(rand.NewSource(seed))
+	t := newTracker(obj, budget)
+
+	cur := space.Random(rng)
+	curVal, ok := t.eval(cur)
+	if !ok {
+		return t.result(sa.Name(), start)
+	}
+	temp := sa.InitialTemp * curVal
+	cooling := sa.Cooling
+	if cooling == 0 {
+		// Reach 1e-3 of the initial temperature by the end of the budget.
+		cooling = math.Pow(1e-3, 1/math.Max(1, float64(budget)))
+	}
+	rate := sa.MutationRate
+	if rate == 0 {
+		rate = 0.4
+	}
+
+	for !t.exhausted() {
+		cand := space.Mutate(rng, cur, rate)
+		candVal, ok := t.eval(cand)
+		if !ok {
+			break
+		}
+		if candVal <= curVal || rng.Float64() < math.Exp((curVal-candVal)/math.Max(temp, 1e-300)) {
+			cur, curVal = cand, candVal
+		}
+		temp *= cooling
+	}
+	return t.result(sa.Name(), start)
+}
+
+// HillClimber performs first-improvement stochastic hill climbing with
+// random restarts when no neighbour improves for Patience proposals.
+type HillClimber struct {
+	// Patience is the number of non-improving proposals before a restart
+	// (default 32).
+	Patience int
+	// MutationRate drives the neighbour proposal (default 0.3).
+	MutationRate float64
+}
+
+// NewHillClimber returns the engine with default settings.
+func NewHillClimber() *HillClimber { return &HillClimber{Patience: 32, MutationRate: 0.3} }
+
+// Name implements Engine.
+func (*HillClimber) Name() string { return "hill climbing" }
+
+// Search implements Engine.
+func (hc *HillClimber) Search(space tunespace.Space, obj Objective, budget int, seed int64) Result {
+	start := time.Now()
+	rng := rand.New(rand.NewSource(seed))
+	t := newTracker(obj, budget)
+
+	patience := hc.Patience
+	if patience <= 0 {
+		patience = 32
+	}
+	rate := hc.MutationRate
+	if rate == 0 {
+		rate = 0.3
+	}
+
+	for !t.exhausted() {
+		cur := space.Random(rng)
+		curVal, ok := t.eval(cur)
+		if !ok {
+			break
+		}
+		stale := 0
+		for stale < patience && !t.exhausted() {
+			cand := space.Mutate(rng, cur, rate)
+			candVal, ok := t.eval(cand)
+			if !ok {
+				break
+			}
+			if candVal < curVal {
+				cur, curVal = cand, candVal
+				stale = 0
+			} else {
+				stale++
+			}
+		}
+	}
+	return t.result(hc.Name(), start)
+}

@@ -1,0 +1,101 @@
+package svmrank
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/feature"
+)
+
+// persisted is the on-disk form of a model; a version tag guards against
+// loading models trained with an incompatible feature encoding.
+type persisted struct {
+	Version int
+	Dim     int
+	W       []float64
+	C       float64
+}
+
+const persistVersion = 1
+
+// Save writes the model to w in gob format.
+func (m *Model) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(persisted{
+		Version: persistVersion,
+		Dim:     feature.Dim,
+		W:       m.W,
+		C:       m.C,
+	})
+}
+
+// Load reads a model previously written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var p persisted
+	if err := gob.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("svmrank: decoding model: %w", err)
+	}
+	if p.Version != persistVersion {
+		return nil, fmt.Errorf("svmrank: model version %d, want %d", p.Version, persistVersion)
+	}
+	if p.Dim != feature.Dim {
+		return nil, fmt.Errorf("svmrank: model feature dim %d, build has %d", p.Dim, feature.Dim)
+	}
+	return &Model{W: p.W, C: p.C}, nil
+}
+
+// SaveFile writes the model to a file path.
+func (m *Model) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := m.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a model from a file path.
+func LoadFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// persistedDataset is the on-disk form of a training dataset.
+type persistedDataset struct {
+	Version  int
+	Dim      int
+	Examples []Example
+}
+
+// SaveDataset writes a training dataset in gob format, so expensive
+// measured training sets can be reused across runs.
+func SaveDataset(w io.Writer, d *Dataset) error {
+	return gob.NewEncoder(w).Encode(persistedDataset{
+		Version:  persistVersion,
+		Dim:      feature.Dim,
+		Examples: d.Examples,
+	})
+}
+
+// LoadDataset reads a dataset previously written by SaveDataset.
+func LoadDataset(r io.Reader) (*Dataset, error) {
+	var p persistedDataset
+	if err := gob.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("svmrank: decoding dataset: %w", err)
+	}
+	if p.Version != persistVersion {
+		return nil, fmt.Errorf("svmrank: dataset version %d, want %d", p.Version, persistVersion)
+	}
+	if p.Dim != feature.Dim {
+		return nil, fmt.Errorf("svmrank: dataset feature dim %d, build has %d", p.Dim, feature.Dim)
+	}
+	return &Dataset{Examples: p.Examples}, nil
+}

@@ -1,0 +1,76 @@
+package trainer
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/ranking"
+	"repro/internal/shape"
+	"repro/internal/svmrank"
+)
+
+// This file implements the generalization study behind the paper's central
+// claim: the model ranks tuning vectors for *unseen* stencils. The strongest
+// version is leave-one-shape-family-out cross-validation — the model never
+// sees any kernel of the held-out Fig. 1 family during training, then is
+// asked to rank the held-out family's executions.
+
+// FoldResult is one fold of the cross-validation.
+type FoldResult struct {
+	// HeldOut names the shape family excluded from training.
+	HeldOut string
+	// Train summarizes τ on the fold's own training queries.
+	Train ranking.Summary
+	// Test summarizes τ on the held-out family's queries.
+	Test ranking.Summary
+}
+
+// familyOf extracts the shape-family tag from a training-kernel query id
+// ("train-3d-laplacian-o2-b1-double/128x128x128" → "laplacian").
+func familyOf(query string) string {
+	parts := strings.Split(query, "-")
+	if len(parts) < 3 {
+		return ""
+	}
+	return parts[2]
+}
+
+// CrossValidate runs leave-one-family-out cross-validation: for each of the
+// four Fig. 1 families it trains on the other three and evaluates per-query
+// Kendall τ on the held-out family.
+func CrossValidate(eval dataset.Evaluator, targetPoints int, seed int64) ([]FoldResult, error) {
+	cfg := DefaultConfig(targetPoints, seed)
+	set, err := dataset.Generate(eval, cfg.Dataset)
+	if err != nil {
+		return nil, fmt.Errorf("trainer: crossval set: %w", err)
+	}
+
+	var folds []FoldResult
+	for _, fam := range shape.Families() {
+		name := fam.String()
+		trainData := &svmrank.Dataset{}
+		testData := &svmrank.Dataset{}
+		for _, e := range set.Data.Examples {
+			if familyOf(e.Query) == name {
+				testData.Add(e)
+			} else {
+				trainData.Add(e)
+			}
+		}
+		if trainData.Len() == 0 || testData.Len() == 0 {
+			return nil, fmt.Errorf("trainer: family %q has an empty fold (train %d / test %d)",
+				name, trainData.Len(), testData.Len())
+		}
+		model, _, err := svmrank.Train(trainData, cfg.SVM)
+		if err != nil {
+			return nil, fmt.Errorf("trainer: fold %q: %w", name, err)
+		}
+		folds = append(folds, FoldResult{
+			HeldOut: name,
+			Train:   ranking.Summarize(TauValues(EvaluateTauData(model, trainData))),
+			Test:    ranking.Summarize(TauValues(EvaluateTauData(model, testData))),
+		})
+	}
+	return folds, nil
+}

@@ -1,0 +1,244 @@
+package tunespace
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	ok3 := Vector{64, 32, 16, 4, 2}
+	if err := ok3.Validate(3); err != nil {
+		t.Errorf("valid 3-D vector rejected: %v", err)
+	}
+	ok2 := Vector{64, 32, 1, 0, 1}
+	if err := ok2.Validate(2); err != nil {
+		t.Errorf("valid 2-D vector rejected: %v", err)
+	}
+	bad := []struct {
+		v    Vector
+		dims int
+	}{
+		{Vector{1, 32, 16, 4, 2}, 3},    // bx too small
+		{Vector{2048, 32, 16, 4, 2}, 3}, // bx too large
+		{Vector{64, 0, 16, 4, 2}, 3},    // by too small
+		{Vector{64, 32, 1, 4, 2}, 3},    // bz too small for 3-D
+		{Vector{64, 32, 16, -1, 2}, 3},  // u negative
+		{Vector{64, 32, 16, 9, 2}, 3},   // u too large
+		{Vector{64, 32, 16, 4, 0}, 3},   // c too small
+		{Vector{64, 32, 16, 4, 17}, 3},  // c too large
+		{Vector{64, 32, 16, 4, 2}, 2},   // 2-D must have bz=1
+	}
+	for _, c := range bad {
+		if err := c.v.Validate(c.dims); err == nil {
+			t.Errorf("vector %v dims=%d should be invalid", c.v, c.dims)
+		}
+	}
+}
+
+func TestNewSpacePanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for dims=4")
+		}
+	}()
+	NewSpace(4)
+}
+
+func TestClamp(t *testing.T) {
+	s3 := NewSpace(3)
+	v := s3.Clamp(Vector{0, 99999, -5, 100, -3})
+	if err := v.Validate(3); err != nil {
+		t.Errorf("clamped vector invalid: %v (%v)", err, v)
+	}
+	if v.Bx != MinBlock || v.By != MaxBlock || v.Bz != MinBlock || v.U != MaxUnroll || v.C != MinChunk {
+		t.Errorf("clamp wrong: %v", v)
+	}
+	s2 := NewSpace(2)
+	if got := s2.Clamp(Vector{4, 4, 64, 2, 2}); got.Bz != 1 {
+		t.Errorf("2-D clamp should force bz=1, got %d", got.Bz)
+	}
+}
+
+func TestRandomAlwaysLegal(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dims := range []int{2, 3} {
+		s := NewSpace(dims)
+		for i := 0; i < 2000; i++ {
+			v := s.Random(rng)
+			if err := v.Validate(dims); err != nil {
+				t.Fatalf("dims=%d: random vector invalid: %v (%v)", dims, err, v)
+			}
+		}
+	}
+}
+
+func TestRandomCoversRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := NewSpace(3)
+	sawSmall, sawLarge, sawNoUnroll, sawMaxUnroll := false, false, false, false
+	for i := 0; i < 5000; i++ {
+		v := s.Random(rng)
+		if v.Bx <= 4 {
+			sawSmall = true
+		}
+		if v.Bx >= 512 {
+			sawLarge = true
+		}
+		if v.U == 0 {
+			sawNoUnroll = true
+		}
+		if v.U == 8 {
+			sawMaxUnroll = true
+		}
+	}
+	if !sawSmall || !sawLarge || !sawNoUnroll || !sawMaxUnroll {
+		t.Errorf("random sampling does not cover range: small=%v large=%v u0=%v u8=%v",
+			sawSmall, sawLarge, sawNoUnroll, sawMaxUnroll)
+	}
+}
+
+func TestPredefinedSetSizes(t *testing.T) {
+	// The paper's predefined sets: 1600 configs for 2-D, 8640 for 3-D.
+	if got := len(NewSpace(2).Predefined()); got != 1600 {
+		t.Errorf("2-D predefined size = %d, want 1600", got)
+	}
+	if got := len(NewSpace(3).Predefined()); got != 8640 {
+		t.Errorf("3-D predefined size = %d, want 8640", got)
+	}
+}
+
+func TestPredefinedAllLegalAndDistinct(t *testing.T) {
+	for _, dims := range []int{2, 3} {
+		s := NewSpace(dims)
+		set := s.Predefined()
+		seen := make(map[Vector]bool, len(set))
+		for _, v := range set {
+			if err := v.Validate(dims); err != nil {
+				t.Fatalf("dims=%d: predefined %v invalid: %v", dims, v, err)
+			}
+			if seen[v] {
+				t.Fatalf("dims=%d: duplicate predefined %v", dims, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPredefinedIsPowerOfTwoSampled(t *testing.T) {
+	isPow2 := func(n int) bool { return n > 0 && n&(n-1) == 0 }
+	for _, v := range NewSpace(3).Predefined() {
+		if !isPow2(v.Bx) || !isPow2(v.By) || !isPow2(v.Bz) || !isPow2(v.C) {
+			t.Fatalf("non power-of-two predefined vector %v", v)
+		}
+		if v.U != 0 && !isPow2(v.U) {
+			t.Fatalf("unroll %d not 0 or power of two", v.U)
+		}
+	}
+}
+
+func TestMutateStaysLegal(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, dims := range []int{2, 3} {
+		s := NewSpace(dims)
+		v := s.Random(rng)
+		for i := 0; i < 2000; i++ {
+			v = s.Mutate(rng, v, 0.5)
+			if err := v.Validate(dims); err != nil {
+				t.Fatalf("dims=%d: mutated vector invalid: %v (%v)", dims, err, v)
+			}
+		}
+	}
+}
+
+func TestMutateRateZeroIsIdentityModuloClamp(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := NewSpace(3)
+	v := Vector{64, 64, 64, 4, 4}
+	for i := 0; i < 100; i++ {
+		if got := s.Mutate(rng, v, 0); got != v {
+			t.Fatalf("rate-0 mutation changed vector: %v -> %v", v, got)
+		}
+	}
+}
+
+func TestCrossoverGenesComeFromParents(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := NewSpace(3)
+	a := Vector{4, 8, 16, 2, 1}
+	b := Vector{256, 512, 64, 8, 8}
+	for i := 0; i < 200; i++ {
+		c := s.Crossover(rng, a, b)
+		if (c.Bx != a.Bx && c.Bx != b.Bx) || (c.By != a.By && c.By != b.By) ||
+			(c.Bz != a.Bz && c.Bz != b.Bz) || (c.U != a.U && c.U != b.U) ||
+			(c.C != a.C && c.C != b.C) {
+			t.Fatalf("crossover introduced foreign gene: %v", c)
+		}
+	}
+}
+
+func TestBlendClamps(t *testing.T) {
+	s := NewSpace(3)
+	a := Vector{2, 2, 2, 0, 1}
+	b := Vector{1024, 1024, 1024, 8, 16}
+	c := Vector{2, 2, 2, 0, 1}
+	out := s.Blend(a, b, c, 2.0) // strongly amplified difference
+	if err := out.Validate(3); err != nil {
+		t.Errorf("blend result invalid: %v (%v)", err, out)
+	}
+	out2 := s.Blend(a, c, b, 2.0) // negative direction
+	if err := out2.Validate(3); err != nil {
+		t.Errorf("blend result invalid: %v (%v)", err, out2)
+	}
+}
+
+func TestRandomSetDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	s := NewSpace(3)
+	set := s.RandomSet(rng, 500)
+	if len(set) != 500 {
+		t.Fatalf("got %d vectors, want 500", len(set))
+	}
+	seen := map[Vector]bool{}
+	dups := 0
+	for _, v := range set {
+		if seen[v] {
+			dups++
+		}
+		seen[v] = true
+	}
+	if dups > 5 {
+		t.Errorf("too many duplicates in random set: %d", dups)
+	}
+}
+
+func TestPropertyClampIdempotent(t *testing.T) {
+	s := NewSpace(3)
+	f := func(bx, by, bz, u, c int) bool {
+		v := s.Clamp(Vector{bx % 4096, by % 4096, bz % 4096, u % 32, c % 64})
+		return s.Clamp(v) == v && v.Validate(3) == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyContainsAfterClamp(t *testing.T) {
+	for _, dims := range []int{2, 3} {
+		s := NewSpace(dims)
+		f := func(bx, by, bz, u, c int16) bool {
+			return s.Contains(s.Clamp(Vector{int(bx), int(by), int(bz), int(u), int(c)}))
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("dims=%d: %v", dims, err)
+		}
+	}
+}
+
+func TestVectorString(t *testing.T) {
+	got := Vector{64, 32, 16, 4, 2}.String()
+	want := "(bx=64,by=32,bz=16,u=4,c=2)"
+	if got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}

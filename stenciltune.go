@@ -1,0 +1,278 @@
+// Package stenciltune is a Go reproduction of "Autotuning Stencil
+// Computations with Structural Ordinal Regression Learning" (Cosenza,
+// Durillo, Ermon, Juurlink — IPDPS 2017).
+//
+// It provides an autotuner for stencil computations that learns to *rank*
+// code variants instead of classifying them or regressing their runtime:
+// training data is organized into partial rankings (one per stencil instance)
+// and fitted with a pairwise ranking SVM. The trained model orders candidate
+// tuning vectors — loop-blocking sizes, unroll factor and multithreading
+// chunk size — for unseen stencils without executing them.
+//
+// # Quick start
+//
+//	model, _, err := stenciltune.Train(stenciltune.TrainOptions{TrainingPoints: 3840})
+//	if err != nil { ... }
+//	tuner := model.Tuner()
+//	q := stenciltune.Instance{Kernel: stenciltune.Laplacian(), Size: stenciltune.Size3D(128, 128, 128)}
+//	best, _, err := tuner.TunePredefined(q)
+//
+// Evaluation runs against either the deterministic performance simulator of
+// the paper's Xeon E5-2680 v3 testbed (Simulate, the default — reproducible
+// and fast) or real timed execution of the stencils by the built-in blocked
+// multithreaded Go executor (Measure).
+package stenciltune
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/exec"
+	"repro/internal/machine"
+	"repro/internal/perfmodel"
+	"repro/internal/search"
+	"repro/internal/stencil"
+	"repro/internal/svmrank"
+	"repro/internal/trainer"
+	"repro/internal/tunespace"
+)
+
+// Re-exported model types. The aliases give external users names for the
+// values the API exchanges.
+type (
+	// Kernel is the static stencil description k = (shape, buffers, dtype).
+	Kernel = stencil.Kernel
+	// Size is a grid extent; use Size2D/Size3D to build one.
+	Size = stencil.Size
+	// Instance is a kernel paired with an input size — the unit the tuner
+	// optimizes.
+	Instance = stencil.Instance
+	// TuningVector is t = (bx, by, bz, u, c).
+	TuningVector = tunespace.Vector
+	// Evaluator maps an execution to a runtime in seconds.
+	Evaluator = dataset.Evaluator
+	// SearchResult is the outcome of an iterative search baseline.
+	SearchResult = search.Result
+	// SearchEngine is an iterative-compilation search method.
+	SearchEngine = search.Engine
+)
+
+// Size constructors and benchmark kernels re-exported from the model layer.
+var (
+	Size2D = stencil.Size2D
+	Size3D = stencil.Size3D
+
+	Blur       = stencil.Blur
+	Edge       = stencil.Edge
+	GameOfLife = stencil.GameOfLife
+	Wave       = stencil.Wave
+	Tricubic   = stencil.Tricubic
+	Divergence = stencil.Divergence
+	Gradient   = stencil.Gradient
+	Laplacian  = stencil.Laplacian
+	Laplacian6 = stencil.Laplacian6
+
+	// Benchmarks returns the 17 test benchmarks of Table III.
+	Benchmarks = stencil.Benchmarks
+	// KernelByName resolves a Table III kernel name.
+	KernelByName = stencil.KernelByName
+)
+
+// EvaluateMode selects how stencil executions are costed.
+type EvaluateMode int
+
+const (
+	// Simulate evaluates on the deterministic analytic model of the
+	// paper's Xeon E5-2680 v3 (fast, reproducible; the default).
+	Simulate EvaluateMode = iota
+	// Measure executes the stencil for real with the built-in blocked
+	// multithreaded executor and reports wall-clock time.
+	Measure
+)
+
+// Simulator returns the deterministic Xeon E5-2680 v3 evaluator.
+func Simulator() Evaluator { return perfmodel.New(machine.XeonE52680v3()) }
+
+// measuredEvaluator adapts the real executor to the Evaluator interface.
+type measuredEvaluator struct {
+	m *exec.Measurer
+}
+
+// Runtime implements Evaluator. Invalid configurations (which the tuner
+// never generates) surface as +Inf rather than an error, so searches simply
+// avoid them.
+func (e measuredEvaluator) Runtime(q stencil.Instance, t tunespace.Vector) float64 {
+	secs, err := e.m.Measure(q, t)
+	if err != nil {
+		return inf()
+	}
+	return secs
+}
+
+func inf() float64 { return 1e308 }
+
+// Measured returns an evaluator that runs stencils for real and reports
+// wall-clock seconds. Evaluations are orders of magnitude slower than
+// Simulate; prefer it for final validation runs.
+func Measured() Evaluator { return measuredEvaluator{m: exec.NewMeasurer()} }
+
+// EvaluatorFor returns the evaluator for a mode.
+func EvaluatorFor(mode EvaluateMode) Evaluator {
+	if mode == Measure {
+		return Measured()
+	}
+	return Simulator()
+}
+
+// TrainOptions configures Train.
+type TrainOptions struct {
+	// TrainingPoints is the training-set size (Table II uses 960…32000).
+	// Default 3840.
+	TrainingPoints int
+	// Seed makes training reproducible. Default 1.
+	Seed int64
+	// Mode selects the evaluation substrate. Default Simulate.
+	Mode EvaluateMode
+	// C overrides the ranking-SVM regularization (default 3, the
+	// calibrated equivalent of the paper's SVM-Rank -c 0.01; see
+	// EXPERIMENTS.md).
+	C float64
+	// Evaluator overrides Mode with a custom evaluator when non-nil.
+	Evaluator Evaluator
+}
+
+// TrainReport summarizes what training did.
+type TrainReport struct {
+	TrainingPoints int
+	Pairs          int
+	TrainTime      time.Duration
+	// SimulatedCompileTime and SimulatedExecTime are the accounted costs a
+	// real PATUS+gcc testbed would have spent preparing the training set
+	// (the "TS Comp." and "TS Generation" columns of Table II).
+	SimulatedCompileTime time.Duration
+	SimulatedExecTime    time.Duration
+}
+
+// Model is a trained ordinal-regression ranking model.
+type Model struct {
+	inner *svmrank.Model
+}
+
+// Train builds a training set per Section V-B of the paper (60 generated
+// stencil codes, 200 instances, random tuning vectors) and fits the ranking
+// model.
+func Train(opt TrainOptions) (*Model, TrainReport, error) {
+	if opt.TrainingPoints == 0 {
+		opt.TrainingPoints = 3840
+	}
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
+	eval := opt.Evaluator
+	if eval == nil {
+		eval = EvaluatorFor(opt.Mode)
+	}
+	cfg := trainer.DefaultConfig(opt.TrainingPoints, opt.Seed)
+	if opt.C != 0 {
+		cfg.SVM.C = opt.C
+	}
+	res, err := trainer.Train(eval, cfg)
+	if err != nil {
+		return nil, TrainReport{}, err
+	}
+	report := TrainReport{
+		TrainingPoints:       res.Set.Len(),
+		Pairs:                res.SVMStats.Pairs,
+		TrainTime:            res.SVMStats.TrainTime,
+		SimulatedCompileTime: res.Set.SimulatedCompileTime,
+		SimulatedExecTime:    res.Set.SimulatedExecTime,
+	}
+	return &Model{inner: res.Model}, report, nil
+}
+
+// Save persists the model to a file.
+func (m *Model) Save(path string) error { return m.inner.SaveFile(path) }
+
+// LoadModel reads a model persisted by Save.
+func LoadModel(path string) (*Model, error) {
+	inner, err := svmrank.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{inner: inner}, nil
+}
+
+// Tuner returns the autotuner around this model.
+func (m *Model) Tuner() *Tuner {
+	return &Tuner{inner: core.New(m.inner)}
+}
+
+// Tuner ranks tuning vectors for stencil instances. Ranking never executes
+// the stencil; only the optional hybrid mode spends measurements.
+type Tuner struct {
+	inner *core.Tuner
+}
+
+// Rank orders the candidate vectors best-first and returns the permutation.
+func (t *Tuner) Rank(q Instance, cands []TuningVector) ([]int, error) {
+	return t.inner.Rank(q, cands)
+}
+
+// Best returns the top-ranked candidate.
+func (t *Tuner) Best(q Instance, cands []TuningVector) (TuningVector, error) {
+	return t.inner.Best(q, cands)
+}
+
+// TunePredefined ranks the paper's predefined power-of-two configuration set
+// (1600 configurations for 2-D stencils, 8640 for 3-D) and returns the
+// top-ranked vector and the ranking time.
+func (t *Tuner) TunePredefined(q Instance) (TuningVector, time.Duration, error) {
+	return t.inner.TunePredefined(q)
+}
+
+// HybridTune implements the paper's future-work coupling: rank the
+// predefined set for free, then measure only the top-k candidates with the
+// given evaluator and return the measured best.
+func (t *Tuner) HybridTune(q Instance, k int, eval Evaluator) (TuningVector, float64, error) {
+	if eval == nil {
+		eval = Simulator()
+	}
+	cands := tunespace.NewSpace(q.Kernel.Dims()).Predefined()
+	res, err := t.inner.HybridTopK(q, cands, k, core.ObjectiveFor(eval, q))
+	if err != nil {
+		return TuningVector{}, 0, err
+	}
+	return res.Best, res.BestValue, nil
+}
+
+// PredefinedCandidates returns the paper's predefined configuration set for
+// a stencil dimensionality (2 or 3).
+func PredefinedCandidates(dims int) []TuningVector {
+	return tunespace.NewSpace(dims).Predefined()
+}
+
+// SearchEngines returns the four iterative-compilation baselines of the
+// paper's evaluation (generational GA, differential evolution, evolution
+// strategy, steady-state GA).
+func SearchEngines() []SearchEngine { return search.Engines() }
+
+// SearchEngineByName resolves "ga", "de", "es", "sga" or "random".
+func SearchEngineByName(name string) (SearchEngine, error) { return search.EngineByName(name) }
+
+// RunSearch tunes an instance with an iterative search baseline under an
+// evaluation budget, mirroring the paper's 1024-evaluation runs.
+func RunSearch(engine SearchEngine, q Instance, eval Evaluator, budget int, seed int64) (SearchResult, error) {
+	if err := q.Validate(); err != nil {
+		return SearchResult{}, err
+	}
+	if budget <= 0 {
+		return SearchResult{}, fmt.Errorf("stenciltune: budget %d must be positive", budget)
+	}
+	if eval == nil {
+		eval = Simulator()
+	}
+	space := tunespace.NewSpace(q.Kernel.Dims())
+	return engine.Search(space, core.ObjectiveFor(eval, q), budget, seed), nil
+}
