@@ -16,13 +16,16 @@ package stenciltune
 // them.
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/exec"
 	"repro/internal/feature"
+	"repro/internal/grid"
 	"repro/internal/machine"
 	"repro/internal/perfmodel"
 	"repro/internal/ranking"
@@ -199,6 +202,76 @@ func BenchmarkRealExecutor(b *testing.B) {
 		if r := eval.Runtime(q, tv); r <= 0 {
 			b.Fatal("non-positive runtime")
 		}
+	}
+}
+
+// execBenchWorkspace allocates an output grid and filled input buffers for
+// the executor benchmarks.
+func execBenchWorkspace(k *exec.LinearKernel, n int) (*grid.Grid, []*grid.Grid) {
+	halo := k.MaxOffset()
+	out := grid.New(n, n, n, halo, halo)
+	var ins []*grid.Grid
+	for b := 0; b < k.Buffers; b++ {
+		g := grid.New(n, n, n, halo, halo)
+		g.FillPattern()
+		ins = append(ins, g)
+	}
+	return out, ins
+}
+
+// execBenchSizes covers both the small grids where fixed per-call overhead
+// dominates (the regime that pollutes Measure-mode training signals) and a
+// medium grid where compute dominates. Run with -benchmem: the compiled path
+// must report 0 allocs/op in steady state.
+var execBenchSizes = []int{8, 16, 64}
+
+// BenchmarkRunCompiled measures steady-state execution through the cached
+// compiled program and the persistent worker pool.
+func BenchmarkRunCompiled(b *testing.B) {
+	for _, n := range execBenchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			r := exec.NewRunner()
+			defer r.Close()
+			k := exec.LaplacianExec()
+			out, ins := execBenchWorkspace(k, n)
+			tv := tunespace.Vector{Bx: 32, By: 16, Bz: 8, U: 4, C: 2}
+			if err := r.Run(k, out, ins, tv); err != nil { // compile + warm pool
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(n * n * n * 8))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := r.Run(k, out, ins, tv); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRunLegacyPath measures the pre-compile baseline: tile list, term
+// plan and fast-path detection rebuilt and goroutines spawned on every call.
+func BenchmarkRunLegacyPath(b *testing.B) {
+	for _, n := range execBenchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			r := exec.NewRunner()
+			defer r.Close()
+			k := exec.LaplacianExec()
+			out, ins := execBenchWorkspace(k, n)
+			tv := tunespace.Vector{Bx: 32, By: 16, Bz: 8, U: 4, C: 2}
+			if err := r.RunLegacy(k, out, ins, tv); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(n * n * n * 8))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := r.RunLegacy(k, out, ins, tv); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

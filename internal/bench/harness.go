@@ -61,6 +61,17 @@ func New(eval dataset.Evaluator, seed int64) *Harness {
 	}
 }
 
+// Close releases resources held by evaluators that own persistent worker
+// pools (the Measure-mode executor). It is a no-op for simulator-backed
+// harnesses, so callers may defer it unconditionally.
+func (h *Harness) Close() {
+	for _, e := range []dataset.Evaluator{h.Eval, h.Validator} {
+		if c, ok := e.(interface{ Close() }); ok {
+			c.Close()
+		}
+	}
+}
+
 // modelFor trains (or returns the cached) model for a training-set size.
 func (h *Harness) modelFor(size int) (*svmrank.Model, *dataset.Set, error) {
 	if m, ok := h.models[size]; ok {

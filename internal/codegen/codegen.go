@@ -60,6 +60,9 @@ func (c *Compiler) Compile(k *stencil.Kernel, t tunespace.Vector) (*Variant, err
 // Compiled returns how many variants were built.
 func (c *Compiler) Compiled() int { return c.compiled }
 
+// Close stops the worker pool shared by this compiler's variants.
+func (c *Compiler) Close() { c.runner.Close() }
+
 // AccountedCompileTime returns the simulated wall-clock cost a real
 // PATUS+gcc toolchain would have spent on the variants compiled so far.
 func (c *Compiler) AccountedCompileTime() time.Duration { return c.accounted }

@@ -117,6 +117,12 @@ func (s *Simulation) Step() error {
 	return nil
 }
 
+// Close stops the simulation's worker pool and drops its compiled-program
+// cache. The simulation may still be stepped afterwards (the pool restarts
+// lazily); Close exists so applications that build many short-lived
+// simulations do not accumulate idle goroutines.
+func (s *Simulation) Close() { s.runner.Close() }
+
 // Run advances n steps.
 func (s *Simulation) Run(n int) error {
 	for i := 0; i < n; i++ {

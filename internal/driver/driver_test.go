@@ -216,3 +216,30 @@ func TestPeriodicWrapsCorrectly(t *testing.T) {
 		}
 	}
 }
+
+func TestSimulationCloseAndResume(t *testing.T) {
+	// Close stops the worker pool; stepping afterwards restarts it
+	// transparently, and ring rotation keeps hitting the same cached
+	// execution program throughout.
+	s, err := New(averaging3(), 16, 16, 16, tv(), Periodic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Level(0).FillPattern()
+	if err := s.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	sum := s.Level(0).InteriorSum()
+	s.Close()
+	s.Close() // idempotent
+	if err := s.Run(2); err != nil {
+		t.Fatalf("step after close: %v", err)
+	}
+	if math.Abs(s.Level(0).InteriorSum()-sum) > 1e-9 {
+		t.Error("periodic averaging stopped conserving the interior sum after Close")
+	}
+	if got := s.Steps(); got != 5 {
+		t.Errorf("steps = %d, want 5", got)
+	}
+	s.Close()
+}

@@ -4,10 +4,27 @@
 // chunked multithreaded tile scheduling (c) — implemented with goroutine
 // workers instead of OpenMP threads.
 //
-// It serves two roles: the "Measure" evaluation mode (wall-clock timing of
-// actual Go execution, for users who want real measurements instead of the
-// simulator) and the correctness substrate proving that every tuning vector
-// computes the same result as the naive reference sweep.
+// Execution is split into a compile step and an execute step. Compile takes
+// a kernel, a grid geometry and a tuning vector and produces a *Program: the
+// exact-size tile decomposition, the flattened term plan, and the structural
+// fast-path selection are all precomputed once. Programs are cached inside
+// the Runner (keyed by kernel identity, geometry and tuning vector), and the
+// Runner owns a persistent pool of worker goroutines fed by an atomic chunk
+// counter, so steady-state Run calls are allocation-free and spawn nothing.
+// This matters because the Measure evaluation mode calls Run thousands of
+// times per search: fixed per-call overhead both pollutes small-grid timings
+// (the training signal) and caps autotuning throughput.
+//
+// Runner.Run is the convenience wrapper (compile-or-lookup, then execute);
+// Runner.RunLegacy preserves the original rebuild-everything, spawn-per-call
+// path as a benchmark baseline. Call Runner.Close when discarding a Runner
+// before process exit to stop its worker pool; the pool is tiny and idle
+// workers cost nothing, so long-lived Runners may simply be kept.
+//
+// The package serves two roles: the "Measure" evaluation mode (wall-clock
+// timing of actual Go execution, for users who want real measurements
+// instead of the simulator) and the correctness substrate proving that every
+// tuning vector computes the same result as the naive reference sweep.
 package exec
 
 import (
@@ -98,15 +115,53 @@ func buildPlan(k *LinearKernel, out *grid.Grid, ins []*grid.Grid) *plan {
 }
 
 // Runner executes kernels with a fixed worker count (defaults to GOMAXPROCS).
+// It owns a persistent worker pool (started lazily on first execution) and a
+// cache of compiled Programs; both are released by Close. Setting Workers has
+// no effect once the pool has started. Executions through one Runner are
+// serialized — the pool already saturates the machine for a single run.
 type Runner struct {
 	Workers int
+
+	mu          sync.Mutex
+	pool        *workerPool
+	progs       map[progKey]*Program
+	cachedTiles int
 }
 
 // NewRunner returns a runner using all available CPUs.
 func NewRunner() *Runner { return &Runner{Workers: runtime.GOMAXPROCS(0)} }
 
-// checkGeometry validates that every buffer matches the output geometry and
-// carries a sufficient halo.
+// poolLocked returns the persistent worker pool, starting it on first use.
+// Callers must hold r.mu.
+func (r *Runner) poolLocked() *workerPool {
+	if r.pool == nil {
+		w := r.Workers
+		if w < 1 {
+			w = 1
+		}
+		r.pool = newWorkerPool(w)
+	}
+	return r.pool
+}
+
+// Close stops the persistent worker pool and drops the program cache. The
+// Runner may be reused afterwards: the next execution restarts the pool.
+func (r *Runner) Close() {
+	r.mu.Lock()
+	pool := r.pool
+	r.pool = nil
+	r.progs = nil
+	r.cachedTiles = 0
+	r.mu.Unlock()
+	if pool != nil {
+		pool.stop()
+	}
+}
+
+// checkGeometry validates that every buffer matches the output geometry
+// exactly — extent and halo widths, hence strides, since the term plan's flat
+// index displacements are shared between the output and every input — and
+// carries a sufficient halo for the kernel's maximum offset.
 func checkGeometry(k *LinearKernel, out *grid.Grid, ins []*grid.Grid) error {
 	if len(ins) != k.Buffers {
 		return fmt.Errorf("exec: kernel %q wants %d buffers, got %d", k.Name, k.Buffers, len(ins))
@@ -116,6 +171,10 @@ func checkGeometry(k *LinearKernel, out *grid.Grid, ins []*grid.Grid) error {
 		if g.NX != out.NX || g.NY != out.NY || g.NZ != out.NZ {
 			return fmt.Errorf("exec: buffer %d geometry %dx%dx%d mismatches output %dx%dx%d",
 				i, g.NX, g.NY, g.NZ, out.NX, out.NY, out.NZ)
+		}
+		if g.Halo != out.Halo || g.HaloZ != out.HaloZ {
+			return fmt.Errorf("exec: buffer %d halo %d/%d mismatches output halo %d/%d (plans share flat indices)",
+				i, g.Halo, g.HaloZ, out.Halo, out.HaloZ)
 		}
 		if g.Halo < need || (g.NZ > 1 && g.HaloZ < need) {
 			return fmt.Errorf("exec: buffer %d halo %d/%d insufficient for offset %d",
@@ -159,9 +218,38 @@ type tile struct {
 
 // Run executes the kernel over the full interior with the given tuning
 // vector: the domain is decomposed into bx×by×bz tiles, consecutive runs of
-// c tiles form dispatch chunks, and workers claim chunks from a shared
-// counter. The x-innermost loop is unrolled by the factor u.
+// c tiles form dispatch chunks, and the persistent workers claim chunks from
+// a shared counter. The x-innermost loop is unrolled by the factor u.
+//
+// Run compiles (or looks up) the cached Program for (kernel, geometry,
+// vector) and executes it; in steady state it performs no allocations and
+// spawns no goroutines.
 func (r *Runner) Run(k *LinearKernel, out *grid.Grid, ins []*grid.Grid, tv tunespace.Vector) error {
+	// Fast path: a cache hit proves (kernel, geometry, vector) were already
+	// validated at compile time, so only the per-call grid binding (checked
+	// by Program.Run) remains.
+	if out.NZ == 1 {
+		tv.Bz = 1
+	}
+	key := progKey{kernel: k, geom: geomOf(out), tv: tv}
+	r.mu.Lock()
+	pr, ok := r.progs[key]
+	r.mu.Unlock()
+	if !ok {
+		var err error
+		pr, err = r.Compile(k, out, ins, tv)
+		if err != nil {
+			return err
+		}
+	}
+	return pr.Run(out, ins)
+}
+
+// RunLegacy executes without the program cache or the persistent pool: the
+// tile list, term plan and fast-path detection are rebuilt and a fresh set
+// of goroutines is spawned on every call, exactly like the pre-compile
+// executor. It is kept as the baseline for BenchmarkRunLegacyPath.
+func (r *Runner) RunLegacy(k *LinearKernel, out *grid.Grid, ins []*grid.Grid, tv tunespace.Vector) error {
 	if err := k.Validate(); err != nil {
 		return err
 	}
@@ -180,6 +268,9 @@ func (r *Runner) Run(k *LinearKernel, out *grid.Grid, ins []*grid.Grid, tv tunes
 	tiles := decompose(out, tv)
 	p := buildPlan(k, out, ins)
 	fp := detectFast(k, p)
+	if fp != nil {
+		fp.data = p.data[0]
+	}
 
 	workers := r.Workers
 	if workers < 1 {

@@ -8,8 +8,16 @@ import "repro/internal/grid"
 // runner dispatches to a shape-specialized body when one matches. The
 // specialization is detected structurally (offsets and weights), never by
 // name, so DSL-defined kernels benefit too.
-
-// fastKind enumerates the specialized bodies.
+//
+// Detection happens at compile time and is data-independent: the fastPlan
+// carries only weights and flat-index offsets, and the data slice is bound
+// by Program.Run (or RunLegacy) before execution.
+//
+// Summation order: each specialized body accumulates terms in the canonical
+// order of its offset table below. When a kernel lists its terms in that
+// same order — which the benchmark constructors and shape.Points-derived
+// kernels do — the fast path is bit-for-bit identical to Reference;
+// otherwise it differs only by floating-point reassociation (≈1 ulp).
 type fastKind int
 
 const (
@@ -19,39 +27,86 @@ const (
 	fastStar7
 	// fastRow3 is the 1-D 3-point row stencil (x-1, x, x+1), single buffer.
 	fastRow3
+	// fastStar5 is the 2-D 5-point star: centre + 4 in-plane axis
+	// neighbours, single buffer.
+	fastStar5
+	// fastBox9 is the 2-D 9-point box: the full 3×3 neighbourhood with
+	// arbitrary weights, single buffer (edge detection, game-of-life).
+	fastBox9
+	// fastBox27 is the 3-D 27-point box: the full 3×3×3 neighbourhood with
+	// arbitrary weights, single buffer.
+	fastBox27
 )
 
-// fastPlan holds the precomputed data of a specialized kernel.
+// Canonical offset tables. Star kernels keep the historical centre-first
+// order (matching the hand-written benchmark constructors); box kernels use
+// shape.Points' canonical (z, y, x) order, grouped into x-contiguous rows of
+// three so the bodies can walk each row with unit stride.
+var (
+	row3Offsets  = [][3]int{{0, 0, 0}, {1, 0, 0}, {-1, 0, 0}}
+	star5Offsets = [][3]int{{0, 0, 0}, {1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0}}
+	star7Offsets = [][3]int{
+		{0, 0, 0}, {1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, 1}, {0, 0, -1},
+	}
+	box9Offsets  = boxOffsets(0)
+	box27Offsets = boxOffsets(1)
+)
+
+// boxOffsets enumerates the unit box neighbourhood in canonical (z, y, x)
+// order; zr is the z radius (0 for the 2-D box).
+func boxOffsets(zr int) [][3]int {
+	var out [][3]int
+	for z := -zr; z <= zr; z++ {
+		for y := -1; y <= 1; y++ {
+			for x := -1; x <= 1; x++ {
+				out = append(out, [3]int{x, y, z})
+			}
+		}
+	}
+	return out
+}
+
+// fastPlan holds the precomputed data of a specialized kernel. w and off are
+// indexed by the slot order of the kind's canonical offset table; data is
+// bound per run.
 type fastPlan struct {
 	kind fastKind
 	data []float64
-	// star7: weights wC, wXp, wXm, wYp, wYm, wZp, wZm and index offsets.
-	w   [7]float64
-	off [7]int
+	w    [27]float64
+	off  [27]int
 }
 
-// detectFast inspects a plan and returns a specialization when the kernel
-// matches one of the known shapes exactly.
+// detectFast inspects a kernel's term plan and returns a specialization when
+// it matches one of the known shapes exactly. Only weights and index offsets
+// are captured; bind data before executing.
 func detectFast(k *LinearKernel, p *plan) *fastPlan {
 	if k.Buffers != 1 {
 		return nil
 	}
 	switch len(k.Terms) {
-	case 7:
-		return detectStar7(k, p)
 	case 3:
-		return detectRow3(k, p)
+		return matchTerms(k, p, fastRow3, row3Offsets)
+	case 5:
+		return matchTerms(k, p, fastStar5, star5Offsets)
+	case 7:
+		return matchTerms(k, p, fastStar7, star7Offsets)
+	case 9:
+		return matchTerms(k, p, fastBox9, box9Offsets)
+	case 27:
+		return matchTerms(k, p, fastBox27, box27Offsets)
 	}
 	return nil
 }
 
-// detectStar7 matches centre + ±x, ±y, ±z unit offsets.
-func detectStar7(k *LinearKernel, p *plan) *fastPlan {
-	want := [7][3]int{
-		{0, 0, 0}, {1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, 1}, {0, 0, -1},
+// matchTerms fills a fastPlan slot-by-slot from the wanted offset table. It
+// requires the kernel's term count to equal the table size and every wanted
+// offset to appear among the terms; a kernel with a duplicated offset then
+// necessarily misses another wanted one and falls back to the generic path.
+func matchTerms(k *LinearKernel, p *plan, kind fastKind, want [][3]int) *fastPlan {
+	if len(k.Terms) != len(want) {
+		return nil
 	}
-	fp := &fastPlan{kind: fastStar7, data: p.data[0]}
-	matched := 0
+	fp := &fastPlan{kind: kind}
 	for slot, w := range want {
 		found := false
 		for ti, t := range k.Terms {
@@ -59,38 +114,12 @@ func detectStar7(k *LinearKernel, p *plan) *fastPlan {
 				fp.w[slot] = p.weight[ti]
 				fp.off[slot] = p.idxOff[ti]
 				found = true
-				matched++
 				break
 			}
 		}
 		if !found {
 			return nil
 		}
-	}
-	if matched != 7 {
-		return nil
-	}
-	return fp
-}
-
-// detectRow3 matches (x-1, x, x+1) with any weights.
-func detectRow3(k *LinearKernel, p *plan) *fastPlan {
-	want := [3][3]int{{0, 0, 0}, {1, 0, 0}, {-1, 0, 0}}
-	fp := &fastPlan{kind: fastRow3, data: p.data[0]}
-	matched := 0
-	for slot, w := range want {
-		for ti, t := range k.Terms {
-			if t.Offset.X == w[0] && t.Offset.Y == w[1] && t.Offset.Z == w[2] {
-				fp.w[slot] = p.weight[ti]
-				fp.off[slot] = p.idxOff[ti]
-				matched++
-				break
-			}
-		}
-		_ = slot
-	}
-	if matched != 3 {
-		return nil
 	}
 	return fp
 }
@@ -119,6 +148,26 @@ func (fp *fastPlan) runRowStar7(dst []float64, base, n, unroll int) {
 	}
 }
 
+// runRowStar5 computes one row of the 2-D 5-point star.
+func (fp *fastPlan) runRowStar5(dst []float64, base, n, unroll int) {
+	d := fp.data
+	wc, wxp, wxm, wyp, wym := fp.w[0], fp.w[1], fp.w[2], fp.w[3], fp.w[4]
+	oyp, oym := fp.off[3], fp.off[4]
+	x := 0
+	if unroll >= 2 {
+		for ; x+2 <= n; x += 2 {
+			i := base + x
+			dst[i] = wc*d[i] + wxp*d[i+1] + wxm*d[i-1] + wyp*d[i+oyp] + wym*d[i+oym]
+			j := i + 1
+			dst[j] = wc*d[j] + wxp*d[j+1] + wxm*d[j-1] + wyp*d[j+oyp] + wym*d[j+oym]
+		}
+	}
+	for ; x < n; x++ {
+		i := base + x
+		dst[i] = wc*d[i] + wxp*d[i+1] + wxm*d[i-1] + wyp*d[i+oyp] + wym*d[i+oym]
+	}
+}
+
 // runRowRow3 computes one row of the 3-point x stencil.
 func (fp *fastPlan) runRowRow3(dst []float64, base, n, unroll int) {
 	d := fp.data
@@ -137,6 +186,45 @@ func (fp *fastPlan) runRowRow3(dst []float64, base, n, unroll int) {
 	}
 }
 
+// runRowBox computes one row of a box kernel (rows = 3 for the 2-D 3×3 box,
+// 9 for the 3-D 3×3×3 box). Slot 3r+1 of the offset table is the centre of
+// x-contiguous row r, so each row contributes d[j-1], d[j], d[j+1]. Terms
+// accumulate one statement at a time to preserve the canonical summation
+// order (bit-compatible with Reference for canonically ordered kernels).
+func (fp *fastPlan) runRowBox(dst []float64, base, n, rows, unroll int) {
+	d := fp.data
+	x := 0
+	if unroll >= 2 {
+		for ; x+2 <= n; x += 2 {
+			i := base + x
+			var a0, a1 float64
+			for r := 0; r < rows; r++ {
+				j := i + fp.off[3*r+1]
+				wl, wc, wr := fp.w[3*r], fp.w[3*r+1], fp.w[3*r+2]
+				a0 += wl * d[j-1]
+				a0 += wc * d[j]
+				a0 += wr * d[j+1]
+				a1 += wl * d[j]
+				a1 += wc * d[j+1]
+				a1 += wr * d[j+2]
+			}
+			dst[i] = a0
+			dst[i+1] = a1
+		}
+	}
+	for ; x < n; x++ {
+		i := base + x
+		var acc float64
+		for r := 0; r < rows; r++ {
+			j := i + fp.off[3*r+1]
+			acc += fp.w[3*r] * d[j-1]
+			acc += fp.w[3*r+1] * d[j]
+			acc += fp.w[3*r+2] * d[j+1]
+		}
+		dst[i] = acc
+	}
+}
+
 // runTileFast sweeps one tile through the specialized body.
 func runTileFast(fp *fastPlan, out *grid.Grid, t tile, unroll int) {
 	dst := out.Data()
@@ -149,6 +237,12 @@ func runTileFast(fp *fastPlan, out *grid.Grid, t tile, unroll int) {
 				fp.runRowStar7(dst, base, n, unroll)
 			case fastRow3:
 				fp.runRowRow3(dst, base, n, unroll)
+			case fastStar5:
+				fp.runRowStar5(dst, base, n, unroll)
+			case fastBox9:
+				fp.runRowBox(dst, base, n, 3, unroll)
+			case fastBox27:
+				fp.runRowBox(dst, base, n, 9, unroll)
 			}
 		}
 	}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"sync"
 	"time"
 
 	"repro/internal/grid"
@@ -12,15 +13,26 @@ import (
 // same evaluation contract as the perfmodel simulator, so the autotuner can
 // run against either wall-clock measurements or the deterministic model
 // (EvaluateMode in the public API).
+//
+// Besides the grid workspaces, the Measurer caches the executable kernel per
+// model kernel, so the thousands of Measure calls a search issues hit the
+// Runner's compiled-program cache instead of rebuilding terms every time.
 type Measurer struct {
 	Runner *Runner
 	// Repetitions per measurement; the minimum time is reported, which is
 	// the standard noise-rejection practice for microbenchmarks.
 	Repetitions int
 
+	// mu serializes measurements: it guards the caches below, and
+	// interleaved wall-clock timings of a machine-saturating kernel would
+	// corrupt each other anyway.
+	mu sync.Mutex
 	// cache of prepared workspaces keyed by geometry, to avoid reallocating
 	// hundreds of MB per evaluation during a search.
 	ws map[wsKey]*workspace
+	// cache of executable realizations keyed by model kernel identity, so
+	// the Runner's program cache sees a stable kernel pointer.
+	kernels map[*stencil.Kernel]*LinearKernel
 }
 
 type wsKey struct {
@@ -35,40 +47,81 @@ type workspace struct {
 
 // NewMeasurer returns a measurer with 3 repetitions.
 func NewMeasurer() *Measurer {
-	return &Measurer{Runner: NewRunner(), Repetitions: 3, ws: make(map[wsKey]*workspace)}
+	return &Measurer{
+		Runner:      NewRunner(),
+		Repetitions: 3,
+		ws:          make(map[wsKey]*workspace),
+		kernels:     make(map[*stencil.Kernel]*LinearKernel),
+	}
 }
 
+// Close stops the underlying runner's worker pool. The measurer may be
+// reused afterwards.
+func (m *Measurer) Close() { m.Runner.Close() }
+
+// maxCachedKernels bounds the executable-kernel cache; callers that mint a
+// fresh *stencil.Kernel per call would otherwise grow it without limit.
+const maxCachedKernels = 256
+
+// executableFor returns the cached executable realization of a model kernel.
+func (m *Measurer) executableFor(k *stencil.Kernel) *LinearKernel {
+	if lk, ok := m.kernels[k]; ok {
+		return lk
+	}
+	// Evict a single arbitrary entry at the bound: wiping the map would
+	// orphan every cached Program at once (they are keyed by these
+	// pointers) and collapse throughput for working sets near the bound.
+	if len(m.kernels) >= maxCachedKernels {
+		for old := range m.kernels {
+			delete(m.kernels, old)
+			break
+		}
+	}
+	lk := Executable(k)
+	m.kernels[k] = lk
+	return lk
+}
+
+// workspaceFor returns the cached workspace for the instance geometry,
+// growing an existing workspace's buffer list in place when a later kernel
+// needs more input buffers than any previous one did.
 func (m *Measurer) workspaceFor(q stencil.Instance, k *LinearKernel) *workspace {
 	halo := k.MaxOffset()
 	key := wsKey{q.Size, halo}
-	if w, ok := m.ws[key]; ok && len(w.ins) >= k.Buffers {
-		return w
+	w, ok := m.ws[key]
+	if !ok {
+		haloZ := halo
+		if q.Size.Is2D() {
+			haloZ = 0
+		}
+		w = &workspace{out: grid.New(q.Size.X, q.Size.Y, q.Size.Z, halo, haloZ)}
+		m.ws[key] = w
 	}
-	haloZ := halo
-	if q.Size.Is2D() {
-		haloZ = 0
-	}
-	w := &workspace{out: grid.New(q.Size.X, q.Size.Y, q.Size.Z, halo, haloZ)}
-	for b := 0; b < k.Buffers; b++ {
-		g := grid.New(q.Size.X, q.Size.Y, q.Size.Z, halo, haloZ)
+	for len(w.ins) < k.Buffers {
+		g := grid.New(q.Size.X, q.Size.Y, q.Size.Z, w.out.Halo, w.out.HaloZ)
 		g.FillPattern()
 		w.ins = append(w.ins, g)
 	}
-	m.ws[key] = w
 	return w
 }
 
-// Runtime measures the wall-clock seconds of one full sweep of the instance
+// Measure reports the wall-clock seconds of one full sweep of the instance
 // under the tuning vector. The error is non-nil for invalid configurations.
 func (m *Measurer) Measure(q stencil.Instance, t tunespace.Vector) (float64, error) {
-	k := Executable(q.Kernel)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := m.executableFor(q.Kernel)
 	w := m.workspaceFor(q, k)
 	ins := w.ins[:k.Buffers]
 
+	prog, err := m.Runner.Compile(k, w.out, ins, t)
+	if err != nil {
+		return 0, err
+	}
 	best := 0.0
 	for rep := 0; rep < maxInt(1, m.Repetitions); rep++ {
 		start := time.Now()
-		if err := m.Runner.Run(k, w.out, ins, t); err != nil {
+		if err := prog.Run(w.out, ins); err != nil {
 			return 0, err
 		}
 		elapsed := time.Since(start).Seconds()

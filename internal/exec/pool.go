@@ -1,0 +1,117 @@
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/grid"
+)
+
+// workerPool is a Runner's persistent execution crew: long-lived goroutines
+// that park on a channel between runs instead of being respawned per call.
+// One run publishes the job (program, output grid, reset chunk counter),
+// wakes up to len(tiles) workers, and waits for the same number of
+// completion tokens. Workers claim chunks of tv.C consecutive tiles from the
+// shared atomic counter, exactly like the original spawn-per-call scheduler.
+//
+// Memory ordering: job fields are written before the wake sends and read
+// only by woken workers, and every completion token is received before the
+// next run's writes, so plain (non-atomic) access to job.prog/job.out is
+// race-free; only the chunk counter needs atomics.
+type workerPool struct {
+	workers int
+	wake    chan struct{}
+	done    chan struct{}
+	quit    chan struct{}
+	wg      sync.WaitGroup
+
+	job struct {
+		prog *Program
+		out  *grid.Grid
+		next int64
+	}
+}
+
+// newWorkerPool starts workers-1 goroutines: the goroutine calling run is
+// always the final drain participant, so total parallelism is workers.
+func newWorkerPool(workers int) *workerPool {
+	p := &workerPool{
+		workers: workers,
+		wake:    make(chan struct{}, workers),
+		done:    make(chan struct{}, workers),
+		quit:    make(chan struct{}),
+	}
+	p.wg.Add(workers - 1)
+	for i := 1; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// stop terminates the workers and waits for them to exit. The pool must be
+// idle (no run in flight); the Runner guarantees this by serializing runs
+// and Close under its mutex.
+func (p *workerPool) stop() {
+	close(p.quit)
+	p.wg.Wait()
+}
+
+// run executes one program over the given output grid, blocking until every
+// tile has been processed. Only one run may be in flight at a time. The
+// calling goroutine participates in the drain, so a single-tile job (the
+// small-grid regime where dispatch overhead dominates) involves no channel
+// round-trip at all.
+func (p *workerPool) run(prog *Program, out *grid.Grid) {
+	p.job.prog = prog
+	p.job.out = out
+	atomic.StoreInt64(&p.job.next, 0)
+	n := p.workers
+	if n > len(prog.tiles) {
+		n = len(prog.tiles)
+	}
+	for i := 1; i < n; i++ {
+		p.wake <- struct{}{}
+	}
+	p.drain()
+	for i := 1; i < n; i++ {
+		<-p.done
+	}
+}
+
+func (p *workerPool) worker() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.quit:
+			return
+		case <-p.wake:
+			p.drain()
+			p.done <- struct{}{}
+		}
+	}
+}
+
+// drain claims and executes chunks until the tile list is exhausted.
+func (p *workerPool) drain() {
+	prog := p.job.prog
+	out := p.job.out
+	tiles := prog.tiles
+	chunk := prog.tv.C
+	for {
+		start := int(atomic.AddInt64(&p.job.next, int64(chunk))) - chunk
+		if start >= len(tiles) {
+			return
+		}
+		end := start + chunk
+		if end > len(tiles) {
+			end = len(tiles)
+		}
+		for _, t := range tiles[start:end] {
+			if prog.fp != nil {
+				runTileFast(prog.fp, out, t, prog.tv.U)
+			} else {
+				runTile(&prog.p, out, t, prog.tv.U)
+			}
+		}
+	}
+}

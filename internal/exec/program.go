@@ -1,0 +1,182 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+	"repro/internal/tunespace"
+)
+
+// geom captures the grid geometry a compiled program is specialized to. Two
+// grids with equal geom have identical strides, so a program's flat-index
+// displacements and tile list are valid for any of them.
+type geom struct {
+	nx, ny, nz  int
+	halo, haloZ int
+}
+
+func geomOf(g *grid.Grid) geom {
+	return geom{nx: g.NX, ny: g.NY, nz: g.NZ, halo: g.Halo, haloZ: g.HaloZ}
+}
+
+// progKey identifies a compiled program: kernel identity (by pointer — a
+// kernel must not be mutated after first use), grid geometry, and the
+// normalized tuning vector.
+type progKey struct {
+	kernel *LinearKernel
+	geom   geom
+	tv     tunespace.Vector
+}
+
+// Cache bounds. A program's dominant memory is its tile list; small blocking
+// sizes on large grids produce millions of tiles, so eviction is driven by
+// the total cached tile count as well as the program count. Exceeding either
+// bound evicts arbitrary entries (never the one just inserted).
+const (
+	maxCachedPrograms = 512
+	maxCachedTiles    = 1 << 20
+)
+
+// Program is a compiled execution plan: the exact-size tile decomposition,
+// the flattened term plan and the fast-path selection for one (kernel,
+// geometry, tuning vector) triple, precomputed so repeated executions only
+// rebind grid data and dispatch to the persistent worker pool. Programs are
+// created and cached by Runner.Compile and execute via Program.Run against
+// any grids of the compiled geometry.
+type Program struct {
+	r      *Runner
+	kernel *LinearKernel
+	geom   geom
+	tv     tunespace.Vector
+
+	tiles   []tile
+	termBuf []int // source buffer per term, for per-run data rebinding
+	p       plan  // idxOff/weight fixed at compile; data rebound per run
+	fp      *fastPlan
+}
+
+// Compile returns the cached program for (k, out's geometry, tv), building
+// and caching it on first use. The input grids are only used for validation —
+// the program is bound to concrete data at each Run.
+func (r *Runner) Compile(k *LinearKernel, out *grid.Grid, ins []*grid.Grid, tv tunespace.Vector) (*Program, error) {
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkGeometry(k, out, ins); err != nil {
+		return nil, err
+	}
+	dims := 3
+	if out.NZ == 1 {
+		dims = 2
+		tv.Bz = 1
+	}
+	if err := tv.Validate(dims); err != nil {
+		return nil, err
+	}
+
+	key := progKey{kernel: k, geom: geomOf(out), tv: tv}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if pr, ok := r.progs[key]; ok {
+		return pr, nil
+	}
+	pr := compileProgram(r, k, out, tv)
+	if r.progs == nil {
+		r.progs = make(map[progKey]*Program)
+	}
+	r.progs[key] = pr
+	r.cachedTiles += len(pr.tiles)
+	r.evictLocked(key)
+	return pr, nil
+}
+
+// compileProgram does the actual precomputation for one cache entry.
+func compileProgram(r *Runner, k *LinearKernel, out *grid.Grid, tv tunespace.Vector) *Program {
+	pr := &Program{
+		r:       r,
+		kernel:  k,
+		geom:    geomOf(out),
+		tv:      tv,
+		termBuf: make([]int, len(k.Terms)),
+		p: plan{
+			idxOff: make([]int, len(k.Terms)),
+			weight: make([]float64, len(k.Terms)),
+			data:   make([][]float64, len(k.Terms)),
+		},
+	}
+	for i, t := range k.Terms {
+		pr.p.idxOff[i] = out.OffsetIndex(t.Offset.X, t.Offset.Y, t.Offset.Z)
+		pr.p.weight[i] = t.Weight
+		pr.termBuf[i] = t.Buffer
+	}
+	pr.fp = detectFast(k, &pr.p)
+	pr.tiles = decomposeExact(out, tv)
+	return pr
+}
+
+// decomposeExact builds the z-major tile list with an exact-size allocation.
+func decomposeExact(out *grid.Grid, tv tunespace.Vector) []tile {
+	n := ceilDiv(out.NX, tv.Bx) * ceilDiv(out.NY, tv.By) * ceilDiv(out.NZ, tv.Bz)
+	tiles := make([]tile, 0, n)
+	for z0 := 0; z0 < out.NZ; z0 += tv.Bz {
+		z1 := minInt(z0+tv.Bz, out.NZ)
+		for y0 := 0; y0 < out.NY; y0 += tv.By {
+			y1 := minInt(y0+tv.By, out.NY)
+			for x0 := 0; x0 < out.NX; x0 += tv.Bx {
+				x1 := minInt(x0+tv.Bx, out.NX)
+				tiles = append(tiles, tile{x0, x1, y0, y1, z0, z1})
+			}
+		}
+	}
+	return tiles
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// evictLocked enforces the cache bounds, never evicting keep (the entry just
+// inserted). Callers must hold r.mu.
+func (r *Runner) evictLocked(keep progKey) {
+	for key, pr := range r.progs {
+		if len(r.progs) <= maxCachedPrograms && r.cachedTiles <= maxCachedTiles {
+			return
+		}
+		if key == keep {
+			continue
+		}
+		r.cachedTiles -= len(pr.tiles)
+		delete(r.progs, key)
+	}
+}
+
+// Run executes the program against concrete grids of the compiled geometry:
+// term data slices are rebound (so ring-buffer rotation and workspace reuse
+// need no recompilation) and tiles are dispatched to the persistent worker
+// pool. It performs no allocations.
+func (pr *Program) Run(out *grid.Grid, ins []*grid.Grid) error {
+	if len(ins) != pr.kernel.Buffers {
+		return fmt.Errorf("exec: program for kernel %q wants %d buffers, got %d",
+			pr.kernel.Name, pr.kernel.Buffers, len(ins))
+	}
+	if geomOf(out) != pr.geom {
+		return fmt.Errorf("exec: output geometry %+v mismatches compiled geometry %+v", geomOf(out), pr.geom)
+	}
+	for i, g := range ins {
+		if geomOf(g) != pr.geom {
+			return fmt.Errorf("exec: buffer %d geometry %+v mismatches compiled geometry %+v", i, geomOf(g), pr.geom)
+		}
+	}
+	r := pr.r
+	r.mu.Lock()
+	for i, b := range pr.termBuf {
+		pr.p.data[i] = ins[b].Data()
+	}
+	if pr.fp != nil {
+		pr.fp.data = ins[0].Data()
+	}
+	r.poolLocked().run(pr, out)
+	r.mu.Unlock()
+	return nil
+}
+
+// Tiles reports the number of tiles in the compiled decomposition.
+func (pr *Program) Tiles() int { return len(pr.tiles) }

@@ -10,6 +10,7 @@ package search
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/tunespace"
@@ -84,7 +85,7 @@ func newTracker(obj Objective, budget int) *tracker {
 	}
 }
 
-func inf() float64 { return 1e308 }
+func inf() float64 { return math.Inf(1) }
 
 // exhausted reports whether the budget is spent.
 func (t *tracker) exhausted() bool { return t.used >= t.budget }

@@ -25,6 +25,7 @@ package stenciltune
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/core"
@@ -111,12 +112,29 @@ func (e measuredEvaluator) Runtime(q stencil.Instance, t tunespace.Vector) float
 	return secs
 }
 
-func inf() float64 { return 1e308 }
+func inf() float64 { return math.Inf(1) }
+
+// Close stops the persistent worker pool of the underlying executor. The
+// evaluator may be reused afterwards.
+func (e measuredEvaluator) Close() { e.m.Close() }
 
 // Measured returns an evaluator that runs stencils for real and reports
 // wall-clock seconds. Evaluations are orders of magnitude slower than
 // Simulate; prefer it for final validation runs.
+//
+// The executor keeps a persistent worker pool and a cache of compiled
+// execution plans, so repeated measurements of the same instance are
+// allocation-free. Pass the evaluator to CloseEvaluator when discarding it
+// before process exit.
 func Measured() Evaluator { return measuredEvaluator{m: exec.NewMeasurer()} }
+
+// CloseEvaluator releases resources held by evaluators that own persistent
+// worker pools (those from Measured); it is a no-op for any other evaluator.
+func CloseEvaluator(e Evaluator) {
+	if c, ok := e.(interface{ Close() }); ok {
+		c.Close()
+	}
+}
 
 // EvaluatorFor returns the evaluator for a mode.
 func EvaluatorFor(mode EvaluateMode) Evaluator {
@@ -173,6 +191,10 @@ func Train(opt TrainOptions) (*Model, TrainReport, error) {
 	eval := opt.Evaluator
 	if eval == nil {
 		eval = EvaluatorFor(opt.Mode)
+		// This evaluator is ours: release its worker pool (Measure mode)
+		// once the training set is built. Caller-supplied evaluators stay
+		// untouched.
+		defer CloseEvaluator(eval)
 	}
 	cfg := trainer.DefaultConfig(opt.TrainingPoints, opt.Seed)
 	if opt.C != 0 {
