@@ -17,6 +17,7 @@ package stenciltune
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -460,6 +461,83 @@ func BenchmarkSearchEngines(b *testing.B) {
 				r := e.Search(space, obj, 1024, int64(i))
 				if r.BestValue <= 0 {
 					b.Fatal("no solution")
+				}
+			}
+		})
+	}
+}
+
+// searchBenchCase is the shared workload of the batched-vs-sequential
+// search benchmarks: the paper's base engine plus random search on a
+// Simulate-backed objective (Gradient 256³, the heaviest Fig. 5 panel).
+func searchBenchEngines() []search.Engine {
+	return []search.Engine{search.NewGenerationalGA(), search.NewRandomSearch()}
+}
+
+const searchBenchBudget = 2048
+
+// searchBenchWorkers is ≥4 on every machine; real overlap obviously needs
+// the cores to exist.
+func searchBenchWorkers() int { return max(4, runtime.GOMAXPROCS(0)) }
+
+// BenchmarkSearchSequential is the baseline: every candidate evaluated one
+// at a time on the calling goroutine (Engine.Search).
+func BenchmarkSearchSequential(b *testing.B) {
+	eval := perfmodel.New(machine.XeonE52680v3())
+	q := stencil.Instance{Kernel: stencil.Gradient(), Size: stencil.Size3D(256, 256, 256)}
+	space := tunespace.NewSpace(3)
+	for _, e := range searchBenchEngines() {
+		b.Run(e.Name(), func(b *testing.B) {
+			obj := core.ObjectiveFor(eval, q)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r := e.Search(space, obj, searchBenchBudget, 1)
+				if r.BestValue <= 0 {
+					b.Fatal("no solution")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSearchBatched runs the same engines through SearchBatch with a
+// concurrent batch evaluator; per-generation candidate sets evaluate in
+// parallel. The Result is bit-identical to the sequential run (asserted by
+// TestBatchedMatchesSequential); only the wall clock differs.
+func BenchmarkSearchBatched(b *testing.B) {
+	eval := perfmodel.New(machine.XeonE52680v3())
+	q := stencil.Instance{Kernel: stencil.Gradient(), Size: stencil.Size3D(256, 256, 256)}
+	space := tunespace.NewSpace(3)
+	workers := searchBenchWorkers()
+	for _, e := range searchBenchEngines() {
+		b.Run(e.Name(), func(b *testing.B) {
+			obj := core.BatchObjectiveFor(dataset.Batched(eval, workers), q)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r := e.SearchBatch(space, obj, searchBenchBudget, 1)
+				if r.BestValue <= 0 {
+					b.Fatal("no solution")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDatasetGenerate measures training-set generation at the paper's
+// headline size, sequentially and with all cores (per-instance RNG streams
+// make both produce the identical Set).
+func BenchmarkDatasetGenerate(b *testing.B) {
+	for _, workers := range []int{1, searchBenchWorkers()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			eval := perfmodel.New(machine.XeonE52680v3())
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				set, err := dataset.Generate(eval, dataset.Options{TargetPoints: 3840, Seed: 1, Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if set.Len() != 3840 {
+					b.Fatalf("set size %d", set.Len())
 				}
 			}
 		})

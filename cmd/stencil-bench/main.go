@@ -34,6 +34,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment: table1, table2, table3, fig4, fig5, fig6, fig7 or all")
 	seed := flag.Int64("seed", 1, "random seed (same seed reproduces the report)")
 	budget := flag.Int("budget", 1024, "search evaluation budget (the paper uses 1024)")
+	workers := flag.Int("workers", -1, "concurrent training-set generation workers (-1 = all cores, 1 = sequential); the report is identical for any value")
 	csvDir := flag.String("csv", "", "directory to write CSV result files (empty = none)")
 	htmlPath := flag.String("html", "", "write a standalone HTML report with SVG charts (requires -exp all)")
 	flag.Parse()
@@ -41,7 +42,9 @@ func main() {
 	var htmlData report.Data
 
 	h := bench.New(perfmodel.New(machine.XeonE52680v3()), *seed)
+	defer h.Close()
 	h.Budget = *budget
+	h.Workers = *workers
 	// Final configurations are re-measured with an independent noise
 	// stream, as the paper's reported speedups are fresh measurements.
 	validator := perfmodel.New(machine.XeonE52680v3())

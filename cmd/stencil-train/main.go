@@ -25,12 +25,14 @@ func main() {
 	out := flag.String("out", "model.gob", "output path for the trained model")
 	mode := flag.String("mode", "sim", "evaluation substrate: sim (deterministic Xeon model) or measure (real timed execution)")
 	cParam := flag.Float64("c", 0, "override the ranking-SVM regularization C (0 = default)")
+	workers := flag.Int("workers", -1, "concurrent training-set generation workers (-1 = all cores, 1 = sequential); the trained model is identical for any value")
 	flag.Parse()
 
 	opt := stenciltune.TrainOptions{
 		TrainingPoints: *points,
 		Seed:           *seed,
 		C:              *cParam,
+		Workers:        *workers,
 	}
 	switch *mode {
 	case "sim":

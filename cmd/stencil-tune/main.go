@@ -73,6 +73,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed for fresh training")
 	topk := flag.Int("topk", 0, "hybrid mode: additionally evaluate the top-k ranked candidates and pick the measured best")
 	mode := flag.String("mode", "sim", "evaluation substrate for -topk and reporting: sim or measure")
+	workers := flag.Int("workers", -1, "concurrent evaluations for fresh training and -topk (-1 = all cores, 1 = sequential); results are identical for any value")
 	flag.Parse()
 
 	var kernel *stenciltune.Kernel
@@ -103,21 +104,26 @@ func main() {
 		fmt.Printf("loaded model from %s\n", *modelPath)
 	} else {
 		fmt.Printf("training fresh model (%d points)...\n", *points)
-		model, _, err = stenciltune.Train(stenciltune.TrainOptions{TrainingPoints: *points, Seed: *seed})
+		model, _, err = stenciltune.Train(stenciltune.TrainOptions{
+			TrainingPoints: *points, Seed: *seed, Workers: *workers,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
 	}
 
-	var eval stenciltune.Evaluator
+	var eval stenciltune.BatchEvaluator
 	switch *mode {
 	case "sim":
-		eval = stenciltune.Simulator()
+		eval = stenciltune.BatchedEvaluator(stenciltune.Simulator(), *workers)
 	case "measure":
-		eval = stenciltune.Measured()
+		// Measured evaluators batch natively (serialized for timing
+		// fidelity) and own a worker pool that must be released on exit.
+		eval = stenciltune.BatchedEvaluator(stenciltune.Measured(), *workers)
 	default:
 		log.Fatalf("unknown mode %q", *mode)
 	}
+	defer stenciltune.CloseEvaluator(eval)
 
 	tuner := model.Tuner()
 	best, elapsed, err := tuner.TunePredefined(q)

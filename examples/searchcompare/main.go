@@ -18,7 +18,11 @@ import (
 )
 
 func main() {
-	eval := stenciltune.Simulator()
+	// Fan the simulator out to all cores, then memoize on top, so
+	// configurations proposed by several engines are costed once and each
+	// generation's cache misses evaluate concurrently. Neither wrapper
+	// changes any result — only how fast it arrives.
+	eval := stenciltune.MemoizedEvaluator(stenciltune.BatchedEvaluator(stenciltune.Simulator(), -1))
 	q := stenciltune.Instance{
 		Kernel: stenciltune.Gradient(),
 		Size:   stenciltune.Size3D(256, 256, 256),
@@ -34,9 +38,10 @@ func main() {
 
 	fmt.Printf("%-26s %14s %16s\n", "method", "best runtime", "evaluations spent")
 
-	// Iterative search baselines, 1024 evaluations each.
+	// Iterative search baselines, 1024 evaluations each, batched through
+	// the evaluator stack above.
 	for _, engine := range stenciltune.SearchEngines() {
-		res, err := stenciltune.RunSearch(engine, q, eval, 1024, 7)
+		res, err := stenciltune.RunSearchBatched(engine, q, eval, 1024, 7, -1)
 		if err != nil {
 			log.Fatal(err)
 		}

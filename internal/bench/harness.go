@@ -40,6 +40,10 @@ type Harness struct {
 	Seed int64
 	// Budget is the per-engine evaluation budget (the paper uses 1024).
 	Budget int
+	// Workers bounds concurrent training-set generation (0/1 sequential,
+	// negative = GOMAXPROCS). Reports are identical for every worker count:
+	// dataset generation uses per-instance RNG streams.
+	Workers int
 	// Fig4Sizes are the ordinal-regression training sizes of Fig. 4.
 	Fig4Sizes []int
 	// models caches one trained model per training size.
@@ -77,7 +81,9 @@ func (h *Harness) modelFor(size int) (*svmrank.Model, *dataset.Set, error) {
 	if m, ok := h.models[size]; ok {
 		return m, h.sets[size], nil
 	}
-	res, err := trainer.Train(h.Eval, trainer.DefaultConfig(size, h.Seed))
+	cfg := trainer.DefaultConfig(size, h.Seed)
+	cfg.Dataset.Workers = h.Workers
+	res, err := trainer.Train(h.Eval, cfg)
 	if err != nil {
 		return nil, nil, fmt.Errorf("bench: training size %d: %w", size, err)
 	}
@@ -92,7 +98,7 @@ func (h *Harness) modelFor(size int) (*svmrank.Model, *dataset.Set, error) {
 // Table2 measures the per-phase costs for the given training-set sizes
 // (trainer.Table2Sizes() for the full table).
 func (h *Harness) Table2(sizes []int) ([]trainer.Phases, error) {
-	return trainer.MeasurePhases(h.Eval, sizes, 0, h.Seed)
+	return trainer.MeasurePhases(h.Eval, sizes, 0, h.Seed, h.Workers)
 }
 
 // ---------------------------------------------------------------------------

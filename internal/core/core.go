@@ -32,9 +32,8 @@ func New(model *svmrank.Model) *Tuner {
 	return &Tuner{Model: model, Encoder: feature.NewEncoder()}
 }
 
-// Rank returns the candidate indices ordered best-first according to the
-// model. No execution happens.
-func (t *Tuner) Rank(q stencil.Instance, cands []tunespace.Vector) ([]int, error) {
+// encode validates and feature-encodes a candidate set for an instance.
+func (t *Tuner) encode(q stencil.Instance, cands []tunespace.Vector) ([]feature.Vector, error) {
 	if t.Model == nil {
 		return nil, errors.New("core: tuner has no model")
 	}
@@ -51,16 +50,28 @@ func (t *Tuner) Rank(q stencil.Instance, cands []tunespace.Vector) ([]int, error
 		}
 		xs[i] = t.Encoder.Encode(q, tv)
 	}
+	return xs, nil
+}
+
+// Rank returns the candidate indices ordered best-first according to the
+// model. No execution happens; scoring runs through Model.ScoreBatch.
+func (t *Tuner) Rank(q stencil.Instance, cands []tunespace.Vector) ([]int, error) {
+	xs, err := t.encode(q, cands)
+	if err != nil {
+		return nil, err
+	}
 	return t.Model.Rank(xs), nil
 }
 
-// Best returns the top-ranked candidate.
+// Best returns the top-ranked candidate. Unlike Rank it never sorts — an
+// ArgBestBatch scan over the scores suffices (ties resolve to the earliest
+// candidate, exactly like Rank's first entry).
 func (t *Tuner) Best(q stencil.Instance, cands []tunespace.Vector) (tunespace.Vector, error) {
-	order, err := t.Rank(q, cands)
+	xs, err := t.encode(q, cands)
 	if err != nil {
 		return tunespace.Vector{}, err
 	}
-	return cands[order[0]], nil
+	return cands[t.Model.ArgBestBatch(xs)], nil
 }
 
 // TunePredefined runs the standalone mode of Sec. VI-A: rank the
@@ -89,8 +100,11 @@ type HybridResult struct {
 // model with iterative compilation: rank the full candidate set without
 // executing anything, then spend the measurement budget only on the top-k
 // ranked candidates and return the measured best. With k ≪ |cands| this
-// turns a 1024-evaluation search into a handful of runs.
-func (t *Tuner) HybridTopK(q stencil.Instance, cands []tunespace.Vector, k int, obj search.Objective) (HybridResult, error) {
+// turns a 1024-evaluation search into a handful of runs. The k measurements
+// are submitted as one batch (a concurrency-capable objective overlaps
+// them); the winner is picked in rank order, so results never depend on the
+// batch schedule.
+func (t *Tuner) HybridTopK(q stencil.Instance, cands []tunespace.Vector, k int, obj search.BatchObjective) (HybridResult, error) {
 	if k <= 0 {
 		return HybridResult{}, fmt.Errorf("core: k = %d must be positive", k)
 	}
@@ -98,18 +112,15 @@ func (t *Tuner) HybridTopK(q stencil.Instance, cands []tunespace.Vector, k int, 
 	if err != nil {
 		return HybridResult{}, err
 	}
-	if k > len(order) {
-		k = len(order)
+	k = min(k, len(order))
+	top := make([]tunespace.Vector, k)
+	for i := range top {
+		top[i] = cands[order[i]]
 	}
-	res := HybridResult{RankedFrom: len(cands)}
-	bestVal := 0.0
-	for i := 0; i < k; i++ {
-		v := cands[order[i]]
-		val := obj(v)
-		res.Evaluations++
-		if i == 0 || val < bestVal {
-			bestVal = val
-			res.Best = v
+	res := HybridResult{RankedFrom: len(cands), Evaluations: k}
+	for i, val := range obj(top) {
+		if i == 0 || val < res.BestValue {
+			res.Best = top[i]
 			res.BestValue = val
 		}
 	}
@@ -153,6 +164,13 @@ func (t *Tuner) SeededSearch(q stencil.Instance, engine search.Engine, obj searc
 // ObjectiveFor wraps an Evaluator into a search objective for one instance.
 func ObjectiveFor(eval dataset.Evaluator, q stencil.Instance) search.Objective {
 	return func(v tunespace.Vector) float64 { return eval.Runtime(q, v) }
+}
+
+// BatchObjectiveFor wraps a BatchEvaluator into a search batch objective for
+// one instance; engines running SearchBatch through it overlap each
+// generation's evaluations as far as the evaluator allows.
+func BatchObjectiveFor(eval dataset.BatchEvaluator, q stencil.Instance) search.BatchObjective {
+	return func(vs []tunespace.Vector) []float64 { return eval.RuntimeBatch(q, vs) }
 }
 
 // TopOfRanking is a convenience for analyses: it returns the candidates

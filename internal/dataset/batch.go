@@ -1,0 +1,192 @@
+package dataset
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/stencil"
+	"repro/internal/tunespace"
+)
+
+// BatchEvaluator is an Evaluator that can cost many tuning vectors of one
+// instance in a single call, returning the runtimes in input order.
+// Implementations may evaluate the vectors concurrently (the simulator) or
+// serialize them (the wall-clock measurer, whose timings would corrupt each
+// other if interleaved).
+type BatchEvaluator interface {
+	Evaluator
+	RuntimeBatch(q stencil.Instance, ts []tunespace.Vector) []float64
+}
+
+// closer is the optional resource-release hook evaluators with worker pools
+// implement; wrappers forward it so stenciltune.CloseEvaluator keeps working
+// through any stack of adapters.
+type closer interface{ Close() }
+
+// Batched adapts eval into a BatchEvaluator that evaluates up to workers
+// vectors concurrently. The workers convention matches Options.Workers
+// everywhere in this codebase: 0 or 1 is the sequential adapter, negative
+// selects GOMAXPROCS. The wrapped evaluator must be safe for concurrent use
+// when more than one worker runs — both in-tree evaluators are:
+// *perfmodel.Model is read-only, and *exec.Measurer serializes on its own
+// lock. If eval already implements BatchEvaluator it is returned unchanged,
+// trusting its own scheduling policy (compose Memoized *around* Batched,
+// not inside it, to both cache and fan out).
+func Batched(eval Evaluator, workers int) BatchEvaluator {
+	if be, ok := eval.(BatchEvaluator); ok {
+		return be
+	}
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &batched{eval: eval, workers: max(workers, 1)}
+}
+
+type batched struct {
+	eval    Evaluator
+	workers int
+}
+
+// Runtime implements Evaluator.
+func (b *batched) Runtime(q stencil.Instance, t tunespace.Vector) float64 {
+	return b.eval.Runtime(q, t)
+}
+
+// RuntimeBatch implements BatchEvaluator with chunked fan-out: the batch is
+// split into at most `workers` contiguous chunks, one goroutine each, and
+// every result lands at its input index — callers see input order no matter
+// how the chunks are scheduled.
+func (b *batched) RuntimeBatch(q stencil.Instance, ts []tunespace.Vector) []float64 {
+	out := make([]float64, len(ts))
+	w := min(b.workers, len(ts))
+	if w <= 1 {
+		for i, tv := range ts {
+			out[i] = b.eval.Runtime(q, tv)
+		}
+		return out
+	}
+	chunk := (len(ts) + w - 1) / w
+	var wg sync.WaitGroup
+	for s := 0; s < len(ts); s += chunk {
+		e := min(s+chunk, len(ts))
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			for i := s; i < e; i++ {
+				out[i] = b.eval.Runtime(q, ts[i])
+			}
+		}(s, e)
+	}
+	wg.Wait()
+	return out
+}
+
+// Close forwards to the wrapped evaluator when it holds resources.
+func (b *batched) Close() {
+	if c, ok := b.eval.(closer); ok {
+		c.Close()
+	}
+}
+
+// memoKey identifies one execution. Instance is comparable (kernel pointer +
+// size), which is conservative: two distinct *Kernel values never share an
+// entry even if their definitions coincide.
+type memoKey struct {
+	q stencil.Instance
+	t tunespace.Vector
+}
+
+// Memoized wraps eval with a concurrency-safe cache keyed by (instance,
+// tuning vector), so repeated vectors — across search generations, engines
+// sharing an evaluator, or ranking/validation passes — are never
+// re-simulated or re-measured. Batch calls dedupe against the cache first
+// and forward only the misses (as one batch when the inner evaluator
+// supports it). Two goroutines racing on the same uncached key may both
+// evaluate it; with the deterministic evaluators that is only duplicated
+// work, never divergent answers. Close forwards to the wrapped evaluator.
+func Memoized(eval Evaluator) BatchEvaluator {
+	return &memoized{eval: eval, cache: make(map[memoKey]float64)}
+}
+
+type memoized struct {
+	eval  Evaluator
+	mu    sync.RWMutex
+	cache map[memoKey]float64
+}
+
+// Runtime implements Evaluator.
+func (m *memoized) Runtime(q stencil.Instance, t tunespace.Vector) float64 {
+	k := memoKey{q, t}
+	m.mu.RLock()
+	val, ok := m.cache[k]
+	m.mu.RUnlock()
+	if ok {
+		return val
+	}
+	val = m.eval.Runtime(q, t)
+	m.mu.Lock()
+	m.cache[k] = val
+	m.mu.Unlock()
+	return val
+}
+
+// RuntimeBatch implements BatchEvaluator.
+func (m *memoized) RuntimeBatch(q stencil.Instance, ts []tunespace.Vector) []float64 {
+	out := make([]float64, len(ts))
+	// Gather the first occurrence of each uncached vector. A filled mask
+	// (not a value sentinel) marks cache hits, so evaluators that answer
+	// NaN for some configuration stay cacheable.
+	filled := make([]bool, len(ts))
+	var missVecs []tunespace.Vector
+	missAt := make(map[tunespace.Vector]int)
+	m.mu.RLock()
+	for i, tv := range ts {
+		if val, ok := m.cache[memoKey{q, tv}]; ok {
+			out[i] = val
+			filled[i] = true
+			continue
+		}
+		if _, planned := missAt[tv]; !planned {
+			missAt[tv] = len(missVecs)
+			missVecs = append(missVecs, tv)
+		}
+	}
+	m.mu.RUnlock()
+	if len(missVecs) == 0 {
+		return out
+	}
+	var vals []float64
+	if be, ok := m.eval.(BatchEvaluator); ok {
+		vals = be.RuntimeBatch(q, missVecs)
+	} else {
+		vals = make([]float64, len(missVecs))
+		for i, tv := range missVecs {
+			vals[i] = m.eval.Runtime(q, tv)
+		}
+	}
+	m.mu.Lock()
+	for i, tv := range missVecs {
+		m.cache[memoKey{q, tv}] = vals[i]
+	}
+	m.mu.Unlock()
+	for i, tv := range ts {
+		if !filled[i] {
+			out[i] = vals[missAt[tv]]
+		}
+	}
+	return out
+}
+
+// Len returns the number of cached executions (for tests and diagnostics).
+func (m *memoized) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.cache)
+}
+
+// Close forwards to the wrapped evaluator when it holds resources.
+func (m *memoized) Close() {
+	if c, ok := m.eval.(closer); ok {
+		c.Close()
+	}
+}

@@ -14,6 +14,9 @@ package dataset
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/codegen"
@@ -141,12 +144,19 @@ type Options struct {
 	// 32000). The actual size matches exactly: tuning-vector counts per
 	// instance are balanced so 3-D instances get twice the 2-D count.
 	TargetPoints int
-	// Seed drives the random tuning-vector draws.
+	// Seed drives the random tuning-vector draws. Every instance gets its
+	// own seed-derived RNG stream, so the generated Set depends only on
+	// Seed — never on Workers or scheduling.
 	Seed int64
 	// Encoder defaults to the full feature encoder.
 	Encoder *feature.Encoder
 	// Sampling selects the tuning-vector draw strategy.
 	Sampling Sampling
+	// Workers bounds how many training instances are evaluated and encoded
+	// concurrently. 0 or 1 generates sequentially; negative selects
+	// GOMAXPROCS. The evaluator must be safe for concurrent use when more
+	// than one worker runs (both in-tree evaluators are).
+	Workers int
 }
 
 // Set is a generated training set with its provenance.
@@ -196,8 +206,7 @@ func Generate(eval Evaluator, opt Options) (*Set, error) {
 	base := opt.TargetPoints / totalWeight
 	remainder := opt.TargetPoints - base*totalWeight
 
-	set := &Set{Instances: instances, Data: &svmrank.Dataset{}}
-	rng := rand.New(rand.NewSource(opt.Seed))
+	jobs := make([]genJob, 0, len(instances))
 	for _, q := range instances {
 		n := base
 		if !q.Size.Is2D() {
@@ -208,8 +217,10 @@ func Generate(eval Evaluator, opt Options) (*Set, error) {
 			n++
 			remainder--
 		}
-		appendExecutions(set, eval, enc, q, n, rng, opt.Sampling)
+		jobs = append(jobs, genJob{q: q, n: n})
 	}
+	set := &Set{Instances: instances, Data: &svmrank.Dataset{}}
+	runJobs(set, eval, enc, jobs, opt)
 	set.WallTime = time.Since(start)
 	return set, nil
 }
@@ -217,7 +228,6 @@ func Generate(eval Evaluator, opt Options) (*Set, error) {
 // generateSmall handles targets smaller than the instance count.
 func generateSmall(eval Evaluator, enc *feature.Encoder, instances []stencil.Instance, opt Options, start time.Time) (*Set, error) {
 	set := &Set{Data: &svmrank.Dataset{}}
-	rng := rand.New(rand.NewSource(opt.Seed))
 	// At least 2 executions per chosen instance so each query yields pairs.
 	perInstance := 2
 	nInstances := opt.TargetPoints / perInstance
@@ -229,24 +239,94 @@ func generateSmall(eval Evaluator, enc *feature.Encoder, instances []stencil.Ins
 	if stride == 0 {
 		stride = 1
 	}
+	var jobs []genJob
 	remaining := opt.TargetPoints
 	for i := 0; i < len(instances) && remaining > 0; i += stride {
 		q := instances[i]
-		n := perInstance
-		if n > remaining {
-			n = remaining
-		}
+		n := min(perInstance, remaining)
 		set.Instances = append(set.Instances, q)
-		appendExecutions(set, eval, enc, q, n, rng, opt.Sampling)
+		jobs = append(jobs, genJob{q: q, n: n})
 		remaining -= n
 	}
+	runJobs(set, eval, enc, jobs, opt)
 	set.WallTime = time.Since(start)
 	return set, nil
 }
 
-// appendExecutions draws n tuning vectors for q with the chosen sampling
+// genJob is one instance's share of the target: draw and evaluate n tuning
+// vectors for q.
+type genJob struct {
+	q stencil.Instance
+	n int
+}
+
+// partial is the output of one job, assembled into the Set in job order so
+// the result is independent of scheduling.
+type partial struct {
+	executions  []Execution
+	examples    []svmrank.Example
+	execTime    time.Duration
+	compileTime time.Duration
+}
+
+// runJobs evaluates every job — sequentially or on opt.Workers goroutines —
+// and appends the results to set in job order. Each job draws from its own
+// RNG stream derived from (opt.Seed, job index), so the assembled Set is
+// byte-identical for every worker count.
+func runJobs(set *Set, eval Evaluator, enc *feature.Encoder, jobs []genJob, opt Options) {
+	workers := opt.Workers
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	workers = min(max(workers, 1), len(jobs))
+
+	parts := make([]partial, len(jobs))
+	run := func(i int) {
+		rng := rand.New(rand.NewSource(jobSeed(opt.Seed, i)))
+		parts[i] = generateInstance(eval, enc, jobs[i].q, jobs[i].n, rng, opt.Sampling)
+	}
+	if workers <= 1 {
+		for i := range jobs {
+			run(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(jobs) {
+						return
+					}
+					run(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, p := range parts {
+		set.Executions = append(set.Executions, p.executions...)
+		set.Data.Examples = append(set.Data.Examples, p.examples...)
+		set.SimulatedExecTime += p.execTime
+		set.SimulatedCompileTime += p.compileTime
+	}
+}
+
+// jobSeed derives an independent RNG stream per job from the user seed with
+// a splitmix64 step — adjacent seeds/job indices decorrelate fully.
+func jobSeed(seed int64, job int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(job+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// generateInstance draws n tuning vectors for q with the chosen sampling
 // strategy, evaluates and encodes them, and accounts simulated costs.
-func appendExecutions(set *Set, eval Evaluator, enc *feature.Encoder, q stencil.Instance, n int, rng *rand.Rand, sampling Sampling) {
+func generateInstance(eval Evaluator, enc *feature.Encoder, q stencil.Instance, n int, rng *rand.Rand, sampling Sampling) partial {
 	space := tunespace.NewSpace(q.Kernel.Dims())
 	var vectors []tunespace.Vector
 	if sampling == HeuristicMixed {
@@ -254,13 +334,27 @@ func appendExecutions(set *Set, eval Evaluator, enc *feature.Encoder, q stencil.
 	} else {
 		vectors = space.RandomSet(rng, n)
 	}
-	for _, tv := range vectors {
-		rt := eval.Runtime(q, tv)
-		set.Executions = append(set.Executions, Execution{Instance: q, Tuning: tv, Runtime: rt})
-		set.Data.Add(svmrank.Example{Query: q.ID(), X: enc.Encode(q, tv), Y: rt})
-		set.SimulatedExecTime += time.Duration(rt * float64(time.Second))
-		set.SimulatedCompileTime += codegen.CompileCost(q.Kernel, tv)
+	var p partial
+	if be, ok := eval.(BatchEvaluator); ok {
+		// Batch-capable evaluators cost the whole draw in one call (the
+		// heuristic sampler already spent its refinement probes above).
+		runtimes := be.RuntimeBatch(q, vectors)
+		for i, tv := range vectors {
+			p.add(enc, q, tv, runtimes[i])
+		}
+		return p
 	}
+	for _, tv := range vectors {
+		p.add(enc, q, tv, eval.Runtime(q, tv))
+	}
+	return p
+}
+
+func (p *partial) add(enc *feature.Encoder, q stencil.Instance, tv tunespace.Vector, rt float64) {
+	p.executions = append(p.executions, Execution{Instance: q, Tuning: tv, Runtime: rt})
+	p.examples = append(p.examples, svmrank.Example{Query: q.ID(), X: enc.Encode(q, tv), Y: rt})
+	p.execTime += time.Duration(rt * float64(time.Second))
+	p.compileTime += codegen.CompileCost(q.Kernel, tv)
 }
 
 // heuristicSample implements the HeuristicMixed draw: ~half random, ~quarter

@@ -314,11 +314,11 @@ func (r *Runner) RunLegacy(k *LinearKernel, out *grid.Grid, ins []*grid.Grid, tv
 func decompose(out *grid.Grid, tv tunespace.Vector) []tile {
 	var tiles []tile
 	for z0 := 0; z0 < out.NZ; z0 += tv.Bz {
-		z1 := minInt(z0+tv.Bz, out.NZ)
+		z1 := min(z0+tv.Bz, out.NZ)
 		for y0 := 0; y0 < out.NY; y0 += tv.By {
-			y1 := minInt(y0+tv.By, out.NY)
+			y1 := min(y0+tv.By, out.NY)
 			for x0 := 0; x0 < out.NX; x0 += tv.Bx {
-				x1 := minInt(x0+tv.Bx, out.NX)
+				x1 := min(x0+tv.Bx, out.NX)
 				tiles = append(tiles, tile{x0, x1, y0, y1, z0, z1})
 			}
 		}
@@ -432,13 +432,6 @@ func runRow8(p *plan, dst []float64, base, n, no int) {
 		dst[i+7] = a7
 	}
 	runRow1(p, dst, base+x, n-x, no)
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // FromStencil converts a model kernel (internal/stencil) into an executable

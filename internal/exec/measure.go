@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"math"
 	"sync"
 	"time"
 
@@ -110,6 +111,36 @@ func (m *Measurer) workspaceFor(q stencil.Instance, k *LinearKernel) *workspace 
 func (m *Measurer) Measure(q stencil.Instance, t tunespace.Vector) (float64, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	return m.measureLocked(q, t)
+}
+
+// MeasureBatch measures every tuning vector for one instance and returns
+// the wall-clock seconds in input order. The whole batch runs under the
+// measurer's lock: concurrent timings of a machine-saturating kernel would
+// corrupt each other, so batches *serialize* onto the measuring runner —
+// batching buys lock-acquisition amortization and a stable thermal window,
+// never parallel timing. A vector that fails to compile reports math.Inf(1)
+// at its slot; err is the first such failure (the batch still completes).
+func (m *Measurer) MeasureBatch(q stencil.Instance, ts []tunespace.Vector) ([]float64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]float64, len(ts))
+	var firstErr error
+	for i, tv := range ts {
+		secs, err := m.measureLocked(q, tv)
+		if err != nil {
+			secs = math.Inf(1)
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+		out[i] = secs
+	}
+	return out, firstErr
+}
+
+// measureLocked is Measure's body; callers hold m.mu.
+func (m *Measurer) measureLocked(q stencil.Instance, t tunespace.Vector) (float64, error) {
 	k := m.executableFor(q.Kernel)
 	w := m.workspaceFor(q, k)
 	ins := w.ins[:k.Buffers]
@@ -119,7 +150,7 @@ func (m *Measurer) Measure(q stencil.Instance, t tunespace.Vector) (float64, err
 		return 0, err
 	}
 	best := 0.0
-	for rep := 0; rep < maxInt(1, m.Repetitions); rep++ {
+	for rep := 0; rep < max(1, m.Repetitions); rep++ {
 		start := time.Now()
 		if err := prog.Run(w.out, ins); err != nil {
 			return 0, err
@@ -130,11 +161,4 @@ func (m *Measurer) Measure(q stencil.Instance, t tunespace.Vector) (float64, err
 		}
 	}
 	return best, nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

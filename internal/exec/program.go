@@ -119,11 +119,11 @@ func decomposeExact(out *grid.Grid, tv tunespace.Vector) []tile {
 	n := ceilDiv(out.NX, tv.Bx) * ceilDiv(out.NY, tv.By) * ceilDiv(out.NZ, tv.Bz)
 	tiles := make([]tile, 0, n)
 	for z0 := 0; z0 < out.NZ; z0 += tv.Bz {
-		z1 := minInt(z0+tv.Bz, out.NZ)
+		z1 := min(z0+tv.Bz, out.NZ)
 		for y0 := 0; y0 < out.NY; y0 += tv.By {
-			y1 := minInt(y0+tv.By, out.NY)
+			y1 := min(y0+tv.By, out.NY)
 			for x0 := 0; x0 < out.NX; x0 += tv.Bx {
-				x1 := minInt(x0+tv.Bx, out.NX)
+				x1 := min(x0+tv.Bx, out.NX)
 				tiles = append(tiles, tile{x0, x1, y0, y1, z0, z1})
 			}
 		}

@@ -53,6 +53,12 @@ const (
 )
 
 // Model evaluates executions on a described machine.
+//
+// A Model is read-only once configured: Runtime, GFlops and Evaluate are
+// pure functions of (M, NoiseAmp, Seed) and the arguments, touching no
+// mutable state. One model may therefore serve any number of goroutines
+// concurrently — batch evaluators and parallel dataset generation rely on
+// this. (Reconfiguring the fields mid-flight is the caller's race.)
 type Model struct {
 	M *machine.Machine
 	// NoiseAmp is the relative amplitude of the deterministic noise term
@@ -114,11 +120,11 @@ func (m *Model) Evaluate(q stencil.Instance, t tunespace.Vector) Breakdown {
 	bytes := float64(k.Type.Bytes())
 
 	// Effective tile extents: blocks never exceed the grid.
-	ebx := minInt(t.Bx, sz.X)
-	eby := minInt(t.By, sz.Y)
+	ebx := min(t.Bx, sz.X)
+	eby := min(t.By, sz.Y)
 	ebz := 1
 	if !sz.Is2D() {
-		ebz = minInt(maxInt(t.Bz, 1), sz.Z)
+		ebz = min(max(t.Bz, 1), sz.Z)
 	}
 
 	var b Breakdown
@@ -189,7 +195,7 @@ func (m *Model) Evaluate(q stencil.Instance, t tunespace.Vector) Breakdown {
 	b.CompNsPerPoint = issueCycles * mach.CycleNs() * b.UnrollFactor
 
 	// --- 4. Loop / row / tile control overhead -----------------------------
-	iterOvh := mach.LoopOverheadCycles * mach.CycleNs() / float64(maxInt(1, u)) / float64(lanes)
+	iterOvh := mach.LoopOverheadCycles * mach.CycleNs() / float64(max(1, u)) / float64(lanes)
 	rowOvh := 8 * mach.CycleNs() / float64(ebx)   // per-row setup amortized over the row
 	tileOvh := 60 * mach.CycleNs() / b.TilePoints // per-tile setup amortized over the tile
 	b.OverheadNs = iterOvh + rowOvh + tileOvh
@@ -206,14 +212,14 @@ func (m *Model) Evaluate(q stencil.Instance, t tunespace.Vector) Breakdown {
 	perPoint := math.Max(b.MemNsPerPoint*b.TLBPenalty, b.CompNsPerPoint) + b.OverheadNs
 
 	// --- 6. Threading: chunked tile dispatch --------------------------------
-	tilesX := ceilDiv(sz.X, maxInt(1, t.Bx))
-	tilesY := ceilDiv(sz.Y, maxInt(1, t.By))
+	tilesX := ceilDiv(sz.X, max(1, t.Bx))
+	tilesY := ceilDiv(sz.Y, max(1, t.By))
 	tilesZ := 1
 	if !sz.Is2D() {
-		tilesZ = ceilDiv(sz.Z, maxInt(1, t.Bz))
+		tilesZ = ceilDiv(sz.Z, max(1, t.Bz))
 	}
 	b.Tiles = tilesX * tilesY * tilesZ
-	b.Groups = ceilDiv(b.Tiles, maxInt(1, t.C))
+	b.Groups = ceilDiv(b.Tiles, max(1, t.C))
 
 	cores := float64(mach.Cores)
 	// Rounds of group execution: the last round may be partially filled.
@@ -259,20 +265,6 @@ func (m *Model) hash01(q stencil.Instance, t tunespace.Vector) float64 {
 	writeU64(uint64(t.U))
 	writeU64(uint64(t.C))
 	return float64(h.Sum64()>>11) / float64(1<<53)
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 func ceilDiv(a, b int) int { return (a + b - 1) / b }

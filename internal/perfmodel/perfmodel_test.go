@@ -1,8 +1,10 @@
 package perfmodel
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/machine"
@@ -282,5 +284,43 @@ func TestRuntimeScalesWithProblemSize(t *testing.T) {
 	ratio := large / small
 	if ratio < 4 || ratio > 16 {
 		t.Errorf("256³/128³ runtime ratio = %.2f, want roughly 8x", ratio)
+	}
+}
+
+// TestModelConcurrentEvaluation asserts the documented read-only contract:
+// one Model serves many goroutines and every goroutine sees the exact
+// sequential values (run under -race in CI).
+func TestModelConcurrentEvaluation(t *testing.T) {
+	m := New(machine.XeonE52680v3())
+	q := stencil.Instance{Kernel: stencil.Laplacian(), Size: stencil.Size3D(128, 128, 128)}
+	vectors := make([]tunespace.Vector, 64)
+	want := make([]float64, len(vectors))
+	for i := range vectors {
+		vectors[i] = tunespace.Vector{Bx: 2 << (i % 9), By: 4 << (i % 5), Bz: 2 << (i % 6), U: i % 9, C: 1 + i%16}
+		want[i] = m.Runtime(q, vectors[i])
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 50; rep++ {
+				for i, tv := range vectors {
+					if got := m.Runtime(q, tv); got != want[i] {
+						select {
+						case errs <- fmt.Errorf("vector %d: concurrent %v != sequential %v", i, got, want[i]):
+						default:
+						}
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
 	}
 }

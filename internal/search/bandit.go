@@ -49,6 +49,13 @@ type arm struct {
 
 // Search implements Engine.
 func (bp *BanditPortfolio) Search(space tunespace.Space, obj Objective, budget int, seed int64) Result {
+	return bp.SearchBatch(space, SequentialBatch(obj), budget, seed)
+}
+
+// SearchBatch implements Engine: arms run their inner engines in batch mode,
+// and the shared portfolio accounting commits each batch in proposal order,
+// so the portfolio inherits the engines' batched/sequential bit-equality.
+func (bp *BanditPortfolio) SearchBatch(space tunespace.Space, obj BatchObjective, budget int, seed int64) Result {
 	start := time.Now()
 	roundSize := bp.RoundSize
 	if roundSize <= 0 {
@@ -66,22 +73,55 @@ func (bp *BanditPortfolio) Search(space tunespace.Space, obj Objective, budget i
 	bestVal := inf()
 	history := make([]HistoryPoint, 0, budget)
 	exhausted := func() bool { return used >= budget }
-	sharedObj := func(v tunespace.Vector) float64 {
-		if val, ok := memo[v]; ok {
-			return val
+	sharedBatch := func(vs []tunespace.Vector) []float64 {
+		// Plan pass: walk the proposals in order and decide which ones a
+		// sequential run would have sent to the objective — first-seen
+		// vectors while budget remains. Everything else answers from the
+		// memo (free) or as +Inf (uncached after exhaustion).
+		var fresh []tunespace.Vector
+		planned := make(map[tunespace.Vector]int, len(vs))
+		hypothetical := used
+		for _, v := range vs {
+			if _, ok := memo[v]; ok {
+				continue
+			}
+			if _, ok := planned[v]; ok {
+				continue
+			}
+			if hypothetical >= budget {
+				continue
+			}
+			planned[v] = len(fresh)
+			fresh = append(fresh, v)
+			hypothetical++
 		}
-		if exhausted() {
-			return inf()
+		var vals []float64
+		if len(fresh) > 0 {
+			vals = obj(fresh)
 		}
-		val := obj(v)
-		memo[v] = val
-		used++
-		if val < bestVal {
-			bestVal = val
-			best = v
+		// Commit pass: charge budget and update best/history in proposal
+		// order, exactly as the sequential shared objective did.
+		out := make([]float64, len(vs))
+		for i, v := range vs {
+			if val, ok := memo[v]; ok {
+				out[i] = val
+				continue
+			}
+			if exhausted() {
+				out[i] = inf()
+				continue
+			}
+			val := vals[planned[v]]
+			memo[v] = val
+			used++
+			if val < bestVal {
+				bestVal = val
+				best = v
+			}
+			history = append(history, HistoryPoint{Evaluation: used, Value: bestVal, Vector: best})
+			out[i] = val
 		}
-		history = append(history, HistoryPoint{Evaluation: used, Value: bestVal, Vector: best})
-		return val
+		return out
 	}
 
 	arms := make([]*arm, len(bp.Engines))
@@ -95,7 +135,7 @@ func (bp *BanditPortfolio) Search(space tunespace.Space, obj Objective, budget i
 		// Deterministic engines given (seed, objective) replay their
 		// earlier trajectory through the shared cache for free; only the
 		// freshly granted tail spends portfolio budget.
-		r := a.engine.Search(space, sharedObj, a.granted, a.seed)
+		r := a.engine.SearchBatch(space, sharedBatch, a.granted, a.seed)
 		a.best = r.BestValue
 		a.pulls++
 		// Reward: relative improvement this pull produced.

@@ -13,23 +13,45 @@ import (
 
 // RandomSearch samples the space uniformly — the weakest baseline and a
 // sanity floor for the others.
-type RandomSearch struct{}
+type RandomSearch struct {
+	// Chunk is how many samples are submitted per BatchObjective call
+	// (default RandomChunk). Sampling is RNG-only, so the chunk size never
+	// changes the trajectory — only how much work a batch evaluator can
+	// overlap.
+	Chunk int
+}
+
+// RandomChunk is the default batch size of random search.
+const RandomChunk = 64
 
 // NewRandomSearch returns a random-search engine.
-func NewRandomSearch() *RandomSearch { return &RandomSearch{} }
+func NewRandomSearch() *RandomSearch { return &RandomSearch{Chunk: RandomChunk} }
 
 // Name implements Engine.
 func (*RandomSearch) Name() string { return "random" }
 
 // Search implements Engine.
-func (*RandomSearch) Search(space tunespace.Space, obj Objective, budget int, seed int64) Result {
+func (r *RandomSearch) Search(space tunespace.Space, obj Objective, budget int, seed int64) Result {
+	return r.SearchBatch(space, SequentialBatch(obj), budget, seed)
+}
+
+// SearchBatch implements Engine: samples are drawn in fixed chunks and each
+// chunk is evaluated as one batch.
+func (r *RandomSearch) SearchBatch(space tunespace.Space, obj BatchObjective, budget int, seed int64) Result {
 	start := time.Now()
 	rng := rand.New(rand.NewSource(seed))
 	t := newTracker(obj, budget)
+	chunk := r.Chunk
+	if chunk <= 0 {
+		chunk = RandomChunk
+	}
 	for !t.exhausted() {
-		if _, ok := t.eval(space.Random(rng)); !ok {
-			break
+		n := min(chunk, t.remaining())
+		vs := make([]tunespace.Vector, n)
+		for i := range vs {
+			vs[i] = space.Random(rng)
 		}
+		t.evalBatch(vs)
 	}
 	return t.result("random", start)
 }
@@ -58,6 +80,13 @@ func (*GenerationalGA) Name() string { return "genetic algorithm" }
 
 // Search implements Engine.
 func (g *GenerationalGA) Search(space tunespace.Space, obj Objective, budget int, seed int64) Result {
+	return g.SearchBatch(space, SequentialBatch(obj), budget, seed)
+}
+
+// SearchBatch implements Engine. A generation's children are bred against
+// the frozen parent population — no proposal depends on a sibling's fitness
+// — so the whole brood is submitted as one batch.
+func (g *GenerationalGA) SearchBatch(space tunespace.Space, obj BatchObjective, budget int, seed int64) Result {
 	start := time.Now()
 	rng := rand.New(rand.NewSource(seed))
 	t := newTracker(obj, budget)
@@ -70,19 +99,22 @@ func (g *GenerationalGA) Search(space tunespace.Space, obj Objective, budget int
 		for i := 0; i < g.Elites && i < len(pop); i++ {
 			next = append(next, pop[i])
 		}
-		for len(next) < g.PopSize && !t.exhausted() {
+		n := min(g.PopSize-len(next), t.remaining())
+		if n <= 0 {
+			break // degenerate config (elites fill the population)
+		}
+		children := make([]tunespace.Vector, n)
+		for i := range children {
 			a := tournament(pop, rng, g.TournamentK)
 			b := tournament(pop, rng, g.TournamentK)
 			child := a.v
 			if rng.Float64() < g.CrossoverP {
 				child = space.Crossover(rng, a.v, b.v)
 			}
-			child = space.Mutate(rng, child, g.MutationRate)
-			fit, ok := t.eval(child)
-			if !ok {
-				break
-			}
-			next = append(next, individual{child, fit})
+			children[i] = space.Mutate(rng, child, g.MutationRate)
+		}
+		for i, fit := range t.evalBatch(children) {
+			next = append(next, individual{children[i], fit})
 		}
 		pop = next
 	}
@@ -93,7 +125,9 @@ func (g *GenerationalGA) Search(space tunespace.Space, obj Objective, budget int
 // Steady-state GA
 
 // SteadyStateGA breeds one child at a time and replaces the current worst
-// individual when the child improves on it — the "sGA" of Fig. 4.
+// individual when the child improves on it — the "sGA" of Fig. 4. Each
+// proposal depends on the previous replacement, so the engine is inherently
+// sequential: under SearchBatch it submits single-candidate batches.
 type SteadyStateGA struct {
 	PopSize      int
 	TournamentK  int
@@ -110,6 +144,12 @@ func (*SteadyStateGA) Name() string { return "sGA" }
 
 // Search implements Engine.
 func (g *SteadyStateGA) Search(space tunespace.Space, obj Objective, budget int, seed int64) Result {
+	return g.SearchBatch(space, SequentialBatch(obj), budget, seed)
+}
+
+// SearchBatch implements Engine. Only the initial population evaluates as a
+// real batch; see the type comment for why breeding cannot.
+func (g *SteadyStateGA) SearchBatch(space tunespace.Space, obj BatchObjective, budget int, seed int64) Result {
 	start := time.Now()
 	rng := rand.New(rand.NewSource(seed))
 	t := newTracker(obj, budget)
@@ -141,16 +181,23 @@ func (g *SteadyStateGA) Search(space tunespace.Space, obj Objective, budget int,
 // Differential evolution
 
 // DifferentialEvolution implements DE/rand/1/bin adapted to the integer
-// tuning space via Space.Blend.
+// tuning space via Space.Blend, in its textbook synchronous form: every
+// trial of a generation is built against the same population snapshot, the
+// generation is evaluated as one batch, and selection is applied afterwards.
+// (Synchronous generations are both the canonical DE formulation and what
+// makes the population batchable.)
 type DifferentialEvolution struct {
 	PopSize    int
 	F          float64 // differential weight
 	CrossoverP float64
 }
 
-// NewDifferentialEvolution returns the engine with the standard configuration.
+// NewDifferentialEvolution returns the engine with the standard
+// configuration (F retuned from 0.7 to 0.5 when the engine moved to
+// synchronous generations; the lower differential weight recovers the
+// faster convergence the asynchronous form got from immediate replacement).
 func NewDifferentialEvolution() *DifferentialEvolution {
-	return &DifferentialEvolution{PopSize: 32, F: 0.7, CrossoverP: 0.5}
+	return &DifferentialEvolution{PopSize: 32, F: 0.5, CrossoverP: 0.5}
 }
 
 // Name implements Engine.
@@ -158,35 +205,47 @@ func (*DifferentialEvolution) Name() string { return "differential evolution" }
 
 // Search implements Engine.
 func (de *DifferentialEvolution) Search(space tunespace.Space, obj Objective, budget int, seed int64) Result {
+	return de.SearchBatch(space, SequentialBatch(obj), budget, seed)
+}
+
+// SearchBatch implements Engine.
+func (de *DifferentialEvolution) SearchBatch(space tunespace.Space, obj BatchObjective, budget int, seed int64) Result {
 	start := time.Now()
 	rng := rand.New(rand.NewSource(seed))
 	t := newTracker(obj, budget)
 
 	pop := initPopulation(space, rng, t, de.PopSize)
 	for !t.exhausted() && len(pop) >= 4 {
-		for i := range pop {
-			if t.exhausted() {
-				break
-			}
-			// Pick three distinct partners.
+		n := min(len(pop), t.remaining())
+		trials := make([]tunespace.Vector, n)
+		for i := range trials {
+			// Pick three distinct partners from the generation snapshot.
 			a, b, c := distinctThree(rng, len(pop), i)
 			mutant := space.Blend(pop[a].v, pop[b].v, pop[c].v, de.F)
-			trial := pop[i].v
-			if rng.Float64() < de.CrossoverP {
-				trial = space.Crossover(rng, mutant, pop[i].v)
-			} else {
-				trial = mutant
-			}
-			fit, ok := t.eval(trial)
-			if !ok {
-				break
-			}
+			trials[i] = binCrossover(rng, space, mutant, pop[i].v, de.CrossoverP)
+		}
+		for i, fit := range t.evalBatch(trials) {
 			if fit < pop[i].fit {
-				pop[i] = individual{trial, fit}
+				pop[i] = individual{trials[i], fit}
 			}
 		}
 	}
 	return t.result(de.Name(), start)
+}
+
+// binCrossover is DE's binomial crossover: each gene comes from the mutant
+// with probability cr, and one uniformly chosen gene always does (so the
+// trial never degenerates to a copy of the current individual).
+func binCrossover(rng *rand.Rand, space tunespace.Space, mutant, cur tunespace.Vector, cr float64) tunespace.Vector {
+	genes := [5]int{cur.Bx, cur.By, cur.Bz, cur.U, cur.C}
+	mut := [5]int{mutant.Bx, mutant.By, mutant.Bz, mutant.U, mutant.C}
+	forced := rng.Intn(5)
+	for g := range genes {
+		if g == forced || rng.Float64() < cr {
+			genes[g] = mut[g]
+		}
+	}
+	return space.Clamp(tunespace.Vector{Bx: genes[0], By: genes[1], Bz: genes[2], U: genes[3], C: genes[4]})
 }
 
 // ---------------------------------------------------------------------------
@@ -209,6 +268,12 @@ func (*EvolutionStrategy) Name() string { return "evolutive strategy" }
 
 // Search implements Engine.
 func (es *EvolutionStrategy) Search(space tunespace.Space, obj Objective, budget int, seed int64) Result {
+	return es.SearchBatch(space, SequentialBatch(obj), budget, seed)
+}
+
+// SearchBatch implements Engine. All λ offspring of a generation mutate the
+// same frozen parent set, so they evaluate as one batch.
+func (es *EvolutionStrategy) SearchBatch(space tunespace.Space, obj BatchObjective, budget int, seed int64) Result {
 	start := time.Now()
 	rng := rand.New(rand.NewSource(seed))
 	t := newTracker(obj, budget)
@@ -216,20 +281,17 @@ func (es *EvolutionStrategy) Search(space tunespace.Space, obj Objective, budget
 	pop := initPopulation(space, rng, t, es.Mu+es.Lambda)
 	for !t.exhausted() && len(pop) > 0 {
 		sortByFitness(pop)
-		mu := es.Mu
-		if mu > len(pop) {
-			mu = len(pop)
-		}
+		mu := min(es.Mu, len(pop))
 		parents := pop[:mu]
-		offspring := make([]individual, 0, es.Lambda)
-		for k := 0; k < es.Lambda && !t.exhausted(); k++ {
+		n := min(es.Lambda, t.remaining())
+		children := make([]tunespace.Vector, n)
+		for k := range children {
 			p := parents[rng.Intn(len(parents))]
-			child := space.Mutate(rng, p.v, es.MutationRate)
-			fit, ok := t.eval(child)
-			if !ok {
-				break
-			}
-			offspring = append(offspring, individual{child, fit})
+			children[k] = space.Mutate(rng, p.v, es.MutationRate)
+		}
+		offspring := make([]individual, 0, n)
+		for k, fit := range t.evalBatch(children) {
+			offspring = append(offspring, individual{children[k], fit})
 		}
 		pop = append(append([]individual(nil), parents...), offspring...)
 	}
@@ -239,15 +301,22 @@ func (es *EvolutionStrategy) Search(space tunespace.Space, obj Objective, budget
 // ---------------------------------------------------------------------------
 // Shared helpers
 
+// initPopulation draws and evaluates the initial population as one batch;
+// random draws never depend on results, so the trajectory matches the old
+// draw-evaluate-draw loop exactly.
 func initPopulation(space tunespace.Space, rng *rand.Rand, t *tracker, n int) []individual {
-	pop := make([]individual, 0, n)
-	for i := 0; i < n && !t.exhausted(); i++ {
-		v := space.Random(rng)
-		fit, ok := t.eval(v)
-		if !ok {
-			break
-		}
-		pop = append(pop, individual{v, fit})
+	n = min(n, t.remaining())
+	if n <= 0 {
+		return nil
+	}
+	vs := make([]tunespace.Vector, n)
+	for i := range vs {
+		vs[i] = space.Random(rng)
+	}
+	vals := t.evalBatch(vs)
+	pop := make([]individual, n)
+	for i := range pop {
+		pop[i] = individual{vs[i], vals[i]}
 	}
 	return pop
 }

@@ -37,6 +37,13 @@ func (*SimulatedAnnealing) Name() string { return "simulated annealing" }
 
 // Search implements Engine.
 func (sa *SimulatedAnnealing) Search(space tunespace.Space, obj Objective, budget int, seed int64) Result {
+	return sa.SearchBatch(space, SequentialBatch(obj), budget, seed)
+}
+
+// SearchBatch implements Engine. Annealing accepts or rejects each proposal
+// before generating the next, so it is inherently sequential and submits
+// single-candidate batches.
+func (sa *SimulatedAnnealing) SearchBatch(space tunespace.Space, obj BatchObjective, budget int, seed int64) Result {
 	start := time.Now()
 	rng := rand.New(rand.NewSource(seed))
 	t := newTracker(obj, budget)
@@ -89,6 +96,13 @@ func (*HillClimber) Name() string { return "hill climbing" }
 
 // Search implements Engine.
 func (hc *HillClimber) Search(space tunespace.Space, obj Objective, budget int, seed int64) Result {
+	return hc.SearchBatch(space, SequentialBatch(obj), budget, seed)
+}
+
+// SearchBatch implements Engine. Each proposal mutates the current incumbent,
+// which the previous result may have replaced, so the climber is inherently
+// sequential and submits single-candidate batches.
+func (hc *HillClimber) SearchBatch(space tunespace.Space, obj BatchObjective, budget int, seed int64) Result {
 	start := time.Now()
 	rng := rand.New(rand.NewSource(seed))
 	t := newTracker(obj, budget)

@@ -20,6 +20,27 @@ import (
 // (lower is better). Each call counts against the engine's budget.
 type Objective func(tunespace.Vector) float64
 
+// BatchObjective evaluates a set of tuning vectors and returns their runtimes
+// in input order (one value per vector). Implementations may evaluate the
+// vectors concurrently; engines never submit a vector whose proposal depends
+// on a sibling's result, so any schedule is legal. Each *vector* counts
+// against the engine's budget exactly as with Objective.
+type BatchObjective func([]tunespace.Vector) []float64
+
+// SequentialBatch adapts a plain Objective into a BatchObjective that
+// evaluates one vector at a time on the calling goroutine. It is the
+// evaluation substrate behind every engine's Search method, which makes
+// "sequential run" and "batched run with one worker" the same code path.
+func SequentialBatch(obj Objective) BatchObjective {
+	return func(vs []tunespace.Vector) []float64 {
+		out := make([]float64, len(vs))
+		for i, v := range vs {
+			out[i] = obj(v)
+		}
+		return out
+	}
+}
+
 // HistoryPoint records the best value known after a given number of
 // evaluations.
 type HistoryPoint struct {
@@ -58,13 +79,24 @@ func (r *Result) BestAfter(n int) float64 {
 // Engine is an iterative search method over the tuning space.
 type Engine interface {
 	Name() string
-	// Search minimizes obj over the space within the evaluation budget.
+	// Search minimizes obj over the space within the evaluation budget,
+	// evaluating candidates one at a time on the calling goroutine.
 	Search(space tunespace.Space, obj Objective, budget int, seed int64) Result
+	// SearchBatch is Search with batched evaluation: the engine submits each
+	// generation's (or chunk's) independent candidates as one BatchObjective
+	// call, which may run them concurrently. Results are committed in
+	// proposal order, so for a deterministic objective the returned Result
+	// (Best, BestValue, History) is bit-identical to Search under the same
+	// seed. Search is implemented as SearchBatch over SequentialBatch(obj).
+	SearchBatch(space tunespace.Space, obj BatchObjective, budget int, seed int64) Result
 }
 
-// tracker wraps an objective with budget accounting and best-so-far history.
+// tracker wraps a batch objective with budget accounting and best-so-far
+// history. Evaluations may be scheduled concurrently by the BatchObjective,
+// but accounting is committed in proposal order — the deterministic-ordering
+// layer that keeps batched and sequential runs bit-identical.
 type tracker struct {
-	obj     Objective
+	batch   BatchObjective
 	budget  int
 	used    int
 	best    tunespace.Vector
@@ -75,9 +107,9 @@ type tracker struct {
 	memo map[tunespace.Vector]float64
 }
 
-func newTracker(obj Objective, budget int) *tracker {
+func newTracker(batch BatchObjective, budget int) *tracker {
 	return &tracker{
-		obj:     obj,
+		batch:   batch,
 		budget:  budget,
 		bestVal: inf(),
 		history: make([]HistoryPoint, 0, budget),
@@ -90,12 +122,56 @@ func inf() float64 { return math.Inf(1) }
 // exhausted reports whether the budget is spent.
 func (t *tracker) exhausted() bool { return t.used >= t.budget }
 
-// eval evaluates v. Every call charges one evaluation against the budget —
-// the paper runs each engine for a fixed number of iterations, so proposing
-// an already-seen configuration still costs an iteration (otherwise a
-// converged engine that keeps re-proposing its optimum would loop forever).
-// The memo only avoids recomputing the objective. It returns the runtime and
-// false when the budget is exhausted.
+// remaining returns how many evaluations the budget still allows. Engines
+// use it to size a generation's batch — the same cut-off the sequential
+// loops applied one proposal at a time.
+func (t *tracker) remaining() int { return t.budget - t.used }
+
+// evalBatch evaluates the proposals in vs, truncated to the remaining
+// budget, and returns the runtime of each accepted proposal in order. Every
+// accepted proposal charges one evaluation against the budget — the paper
+// runs each engine for a fixed number of iterations, so proposing an
+// already-seen configuration still costs an iteration (otherwise a converged
+// engine that keeps re-proposing its optimum would loop forever). Only
+// first-seen vectors reach the objective (the memo supplies the rest), and
+// best/history bookkeeping is committed strictly in proposal order.
+func (t *tracker) evalBatch(vs []tunespace.Vector) []float64 {
+	n := min(len(vs), t.remaining())
+	if n == 0 {
+		return nil
+	}
+	vs = vs[:n]
+	var fresh []tunespace.Vector
+	for _, v := range vs {
+		if _, seen := t.memo[v]; !seen {
+			t.memo[v] = math.NaN() // placeholder: claims the slot for batch dedup
+			fresh = append(fresh, v)
+		}
+	}
+	if len(fresh) > 0 {
+		vals := t.batch(fresh)
+		for i, v := range fresh {
+			t.memo[v] = vals[i]
+		}
+	}
+	out := make([]float64, n)
+	for i, v := range vs {
+		val := t.memo[v]
+		t.used++
+		if val < t.bestVal {
+			t.bestVal = val
+			t.best = v
+		}
+		t.history = append(t.history, HistoryPoint{Evaluation: t.used, Value: t.bestVal, Vector: t.best})
+		out[i] = val
+	}
+	return out
+}
+
+// eval evaluates a single vector — the path the inherently sequential
+// engines (steady-state GA, simulated annealing, hill climbing) use, since
+// each of their proposals depends on the previous result. It returns the
+// runtime and false when the budget is exhausted.
 func (t *tracker) eval(v tunespace.Vector) (float64, bool) {
 	if t.exhausted() {
 		if val, ok := t.memo[v]; ok {
@@ -103,18 +179,7 @@ func (t *tracker) eval(v tunespace.Vector) (float64, bool) {
 		}
 		return inf(), false
 	}
-	val, seen := t.memo[v]
-	if !seen {
-		val = t.obj(v)
-		t.memo[v] = val
-	}
-	t.used++
-	if val < t.bestVal {
-		t.bestVal = val
-		t.best = v
-	}
-	t.history = append(t.history, HistoryPoint{Evaluation: t.used, Value: t.bestVal, Vector: t.best})
-	return val, true
+	return t.evalBatch([]tunespace.Vector{v})[0], true
 }
 
 func (t *tracker) result(name string, start time.Time) Result {

@@ -20,7 +20,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/feature"
@@ -236,6 +238,10 @@ type Stats struct {
 
 // Model is the learned linear ranking function r(q,t) = w·φ(q,t); *higher*
 // scores rank better (Sec. IV-C's projection onto w).
+//
+// A Model is read-only after Train/LoadFile returns: every method only reads
+// W, so one model may score, rank and batch-score from any number of
+// goroutines concurrently. (Mutating W while scoring is the caller's race.)
 type Model struct {
 	W []float64
 	// C records the regularization used, for provenance.
@@ -245,13 +251,43 @@ type Model struct {
 // Score returns the ranking score of a feature vector.
 func (m *Model) Score(x feature.Vector) float64 { return x.Dot(m.W) }
 
+// scoreParallelThreshold is the candidate count above which ScoreBatch fans
+// out; below it the goroutine handoff costs more than the dot products.
+const scoreParallelThreshold = 4096
+
+// ScoreBatch scores every vector, in input order. Large batches (the 8640
+// predefined 3-D configurations, for instance) are scored on GOMAXPROCS
+// goroutines; each score depends only on its own input, so the output is
+// identical to a sequential loop.
+func (m *Model) ScoreBatch(xs []feature.Vector) []float64 {
+	scores := make([]float64, len(xs))
+	workers := runtime.GOMAXPROCS(0)
+	if len(xs) < scoreParallelThreshold || workers == 1 {
+		for i, x := range xs {
+			scores[i] = x.Dot(m.W)
+		}
+		return scores
+	}
+	chunk := (len(xs) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for s := 0; s < len(xs); s += chunk {
+		e := min(s+chunk, len(xs))
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			for i := s; i < e; i++ {
+				scores[i] = xs[i].Dot(m.W)
+			}
+		}(s, e)
+	}
+	wg.Wait()
+	return scores
+}
+
 // Rank returns the indices of xs ordered best-first (descending score).
 // Deterministic: equal scores keep input order.
 func (m *Model) Rank(xs []feature.Vector) []int {
-	scores := make([]float64, len(xs))
-	for i, x := range xs {
-		scores[i] = m.Score(x)
-	}
+	scores := m.ScoreBatch(xs)
 	idx := make([]int, len(xs))
 	for i := range idx {
 		idx[i] = i
@@ -260,16 +296,22 @@ func (m *Model) Rank(xs []feature.Vector) []int {
 	return idx
 }
 
-// Best returns the index of the top-ranked vector (-1 for empty input).
-func (m *Model) Best(xs []feature.Vector) int {
+// ArgBestBatch returns the index of the highest-scoring vector without
+// sorting (-1 for empty input); ties keep the earliest index, matching
+// Rank's first entry.
+func (m *Model) ArgBestBatch(xs []feature.Vector) int {
+	scores := m.ScoreBatch(xs)
 	best, bestScore := -1, math.Inf(-1)
-	for i, x := range xs {
-		if s := m.Score(x); s > bestScore {
+	for i, s := range scores {
+		if s > bestScore {
 			best, bestScore = i, s
 		}
 	}
 	return best
 }
+
+// Best returns the index of the top-ranked vector (-1 for empty input).
+func (m *Model) Best(xs []feature.Vector) int { return m.ArgBestBatch(xs) }
 
 // Train fits a ranking model on the dataset.
 func Train(d *Dataset, opt Options) (*Model, Stats, error) {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/feature"
@@ -397,4 +398,74 @@ func TestLoadDatasetRejectsGarbage(t *testing.T) {
 	if _, err := LoadDataset(bytes.NewReader([]byte("junk"))); err == nil {
 		t.Error("garbage dataset accepted")
 	}
+}
+
+func TestScoreBatchMatchesScore(t *testing.T) {
+	d := synthDataset(4, 30, 1)
+	m, _, err := Train(d, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := make([]feature.Vector, d.Len())
+	for i, e := range d.Examples {
+		xs[i] = e.X
+	}
+	scores := m.ScoreBatch(xs)
+	if len(scores) != len(xs) {
+		t.Fatalf("got %d scores for %d vectors", len(scores), len(xs))
+	}
+	for i, x := range xs {
+		if scores[i] != m.Score(x) {
+			t.Fatalf("score %d: batch %v != single %v", i, scores[i], m.Score(x))
+		}
+	}
+}
+
+func TestArgBestBatchMatchesRank(t *testing.T) {
+	d := synthDataset(6, 40, 2)
+	m, _, err := Train(d, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := make([]feature.Vector, d.Len())
+	for i, e := range d.Examples {
+		xs[i] = e.X
+	}
+	if got, want := m.ArgBestBatch(xs), m.Rank(xs)[0]; got != want {
+		t.Errorf("ArgBestBatch = %d, Rank[0] = %d", got, want)
+	}
+	if m.ArgBestBatch(nil) != -1 {
+		t.Error("empty input should return -1")
+	}
+}
+
+func TestModelConcurrentScoring(t *testing.T) {
+	d := synthDataset(4, 30, 1)
+	m, _, err := Train(d, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := make([]feature.Vector, d.Len())
+	for i, e := range d.Examples {
+		xs[i] = e.X
+	}
+	want := m.ScoreBatch(xs)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 50; rep++ {
+				got := m.ScoreBatch(xs)
+				for i := range got {
+					if got[i] != want[i] {
+						panic("concurrent scoring diverged")
+					}
+				}
+				m.Rank(xs)
+				m.ArgBestBatch(xs)
+			}
+		}()
+	}
+	wg.Wait()
 }

@@ -29,6 +29,9 @@ type Config struct {
 // encoding and simulated substrate, the equivalent operating point of the
 // regularization plateau sits at a per-pair C of 3 — see the C-sensitivity
 // ablation in bench_test.go and the calibration note in EXPERIMENTS.md.
+//
+// Generation runs sequentially by default; set Dataset.Workers (the
+// generated Set is identical for every worker count).
 func DefaultConfig(targetPoints int, seed int64) Config {
 	noNorm := false
 	return Config{
@@ -78,8 +81,16 @@ func EvaluateTau(model *svmrank.Model, set *dataset.Set) []QueryTau {
 }
 
 // EvaluateTauData computes per-query τ directly on an svmrank dataset,
-// allowing evaluation on arbitrary subsets (cross-validation).
+// allowing evaluation on arbitrary subsets (cross-validation). All examples
+// are scored in one ScoreBatch call (the model is read-only and batch
+// scoring parallelizes internally) before the per-query τ loop.
 func EvaluateTauData(model *svmrank.Model, data *svmrank.Dataset) []QueryTau {
+	xs := make([]feature.Vector, data.Len())
+	for i, e := range data.Examples {
+		xs[i] = e.X
+	}
+	scores := model.ScoreBatch(xs)
+
 	groups := data.Groups()
 	out := make([]QueryTau, 0, len(groups))
 	for _, q := range data.Queries() {
@@ -91,7 +102,7 @@ func EvaluateTauData(model *svmrank.Model, data *svmrank.Dataset) []QueryTau {
 		predicted := make([]float64, len(idx))
 		for i, e := range idx {
 			runtimes[i] = data.Examples[e].Y
-			predicted[i] = -model.Score(data.Examples[e].X)
+			predicted[i] = -scores[e]
 		}
 		out = append(out, QueryTau{
 			Query: q,
@@ -129,8 +140,11 @@ type Phases struct {
 // MeasurePhases reproduces Table II: for each training-set size it runs the
 // pipeline and measures each phase. regressionCandidates controls how many
 // settings the regression-time measurement ranks (the paper ranks the
-// predefined sets; it reports <1 ms throughout).
-func MeasurePhases(eval dataset.Evaluator, sizes []int, regressionCandidates int, seed int64) ([]Phases, error) {
+// predefined sets; it reports <1 ms throughout). workers bounds concurrent
+// training-set generation (0/1 sequential, negative = GOMAXPROCS); the
+// generated sets — and therefore the fitted models — are identical for
+// every worker count.
+func MeasurePhases(eval dataset.Evaluator, sizes []int, regressionCandidates int, seed int64, workers int) ([]Phases, error) {
 	enc := feature.NewEncoder()
 	// A fixed candidate-ranking workload: predefined 3-D vectors on a
 	// representative instance.
@@ -146,7 +160,9 @@ func MeasurePhases(eval dataset.Evaluator, sizes []int, regressionCandidates int
 
 	var rows []Phases
 	for _, size := range sizes {
-		res, err := Train(eval, DefaultConfig(size, seed))
+		cfg := DefaultConfig(size, seed)
+		cfg.Dataset.Workers = workers
+		res, err := Train(eval, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("trainer: size %d: %w", size, err)
 		}

@@ -97,7 +97,7 @@ func TestTauImprovesWithTrainingSize(t *testing.T) {
 }
 
 func TestMeasurePhases(t *testing.T) {
-	rows, err := MeasurePhases(evaluator(), []int{960, 1920}, 1000, 1)
+	rows, err := MeasurePhases(evaluator(), []int{960, 1920}, 1000, 1, -1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +120,7 @@ func TestMeasurePhases(t *testing.T) {
 }
 
 func TestMeasurePhasesPropagatesError(t *testing.T) {
-	if _, err := MeasurePhases(evaluator(), []int{-1}, 100, 1); err == nil {
+	if _, err := MeasurePhases(evaluator(), []int{-1}, 100, 1, 0); err == nil {
 		t.Error("invalid size accepted")
 	}
 }

@@ -187,15 +187,7 @@ func (s Space) Blend(a, b, c Vector, f float64) Vector {
 	})
 }
 
-func clampInt(v, lo, hi int) int {
-	if v < lo {
-		return lo
-	}
-	if v > hi {
-		return hi
-	}
-	return v
-}
+func clampInt(v, lo, hi int) int { return min(max(v, lo), hi) }
 
 // powersOfTwo returns {2^lo, ..., 2^hi}.
 func powersOfTwo(lo, hi int) []int {

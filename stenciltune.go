@@ -21,6 +21,18 @@
 // the paper's Xeon E5-2680 v3 testbed (Simulate, the default — reproducible
 // and fast) or real timed execution of the stencils by the built-in blocked
 // multithreaded Go executor (Measure).
+//
+// # Batch evaluation and parallelism
+//
+// Every bulk consumer — search engines, training-set generation, hybrid
+// tuning, model scoring — works through batch interfaces. BatchedEvaluator
+// fans independent evaluations out to a bounded worker pool,
+// MemoizedEvaluator caches (instance, tuning vector) runtimes across
+// consumers, TrainOptions.Workers parallelizes training-set generation, and
+// RunSearchBatched runs a search engine with per-generation batched
+// evaluation. All of it is deterministic: results are committed in proposal
+// order and RNG streams are derived per instance, so the same seed produces
+// bit-identical results at any worker count.
 package stenciltune
 
 import (
@@ -54,10 +66,15 @@ type (
 	TuningVector = tunespace.Vector
 	// Evaluator maps an execution to a runtime in seconds.
 	Evaluator = dataset.Evaluator
+	// BatchEvaluator additionally costs many tuning vectors of one instance
+	// per call (possibly concurrently), in input order.
+	BatchEvaluator = dataset.BatchEvaluator
 	// SearchResult is the outcome of an iterative search baseline.
 	SearchResult = search.Result
 	// SearchEngine is an iterative-compilation search method.
 	SearchEngine = search.Engine
+	// BatchObjective is the batched evaluation hook of SearchEngine.SearchBatch.
+	BatchObjective = search.BatchObjective
 )
 
 // Size constructors and benchmark kernels re-exported from the model layer.
@@ -96,7 +113,8 @@ const (
 // Simulator returns the deterministic Xeon E5-2680 v3 evaluator.
 func Simulator() Evaluator { return perfmodel.New(machine.XeonE52680v3()) }
 
-// measuredEvaluator adapts the real executor to the Evaluator interface.
+// measuredEvaluator adapts the real executor to the BatchEvaluator
+// interface.
 type measuredEvaluator struct {
 	m *exec.Measurer
 }
@@ -110,6 +128,15 @@ func (e measuredEvaluator) Runtime(q stencil.Instance, t tunespace.Vector) float
 		return inf()
 	}
 	return secs
+}
+
+// RuntimeBatch implements BatchEvaluator. The batch serializes onto the
+// measuring runner under one lock acquisition — interleaved wall-clock
+// timings would corrupt each other, so timing fidelity wins over overlap.
+// Invalid configurations report +Inf at their slot like Runtime does.
+func (e measuredEvaluator) RuntimeBatch(q stencil.Instance, ts []tunespace.Vector) []float64 {
+	out, _ := e.m.MeasureBatch(q, ts)
+	return out
 }
 
 func inf() float64 { return math.Inf(1) }
@@ -129,11 +156,34 @@ func (e measuredEvaluator) Close() { e.m.Close() }
 func Measured() Evaluator { return measuredEvaluator{m: exec.NewMeasurer()} }
 
 // CloseEvaluator releases resources held by evaluators that own persistent
-// worker pools (those from Measured); it is a no-op for any other evaluator.
+// worker pools (those from Measured, including ones wrapped by
+// BatchedEvaluator or MemoizedEvaluator); it is a no-op for any other
+// evaluator.
 func CloseEvaluator(e Evaluator) {
 	if c, ok := e.(interface{ Close() }); ok {
 		c.Close()
 	}
+}
+
+// BatchedEvaluator wraps an evaluator so batches evaluate on up to workers
+// goroutines. Workers follows the same convention as every workers knob in
+// this API: 0 or 1 is sequential, negative selects GOMAXPROCS. The wrapped
+// evaluator must be safe for concurrent use when more than one worker runs
+// — Simulator and Measured both are (the measurer serializes internally to
+// protect its timings). Results are always in input order. An evaluator
+// that already batches (Measured, MemoizedEvaluator) is returned unchanged
+// with its own scheduling policy, so to cache *and* fan out, wrap in this
+// order: MemoizedEvaluator(BatchedEvaluator(Simulator(), -1)).
+func BatchedEvaluator(e Evaluator, workers int) BatchEvaluator {
+	return dataset.Batched(e, workers)
+}
+
+// MemoizedEvaluator wraps an evaluator with a concurrency-safe cache keyed
+// by (instance, tuning vector), so repeated vectors — across search
+// generations, engines sharing the evaluator, or ranking/validation passes
+// — are never re-simulated or re-measured.
+func MemoizedEvaluator(e Evaluator) BatchEvaluator {
+	return dataset.Memoized(e)
 }
 
 // EvaluatorFor returns the evaluator for a mode.
@@ -159,6 +209,13 @@ type TrainOptions struct {
 	C float64
 	// Evaluator overrides Mode with a custom evaluator when non-nil.
 	Evaluator Evaluator
+	// Workers bounds concurrent training-set generation: 0 or 1 generates
+	// sequentially, negative selects GOMAXPROCS. Any worker count produces
+	// the identical training set (and therefore the identical model) for a
+	// given seed; the evaluator must be safe for concurrent use when more
+	// than one worker runs, which the built-in Simulate/Measure evaluators
+	// are.
+	Workers int
 }
 
 // TrainReport summarizes what training did.
@@ -197,6 +254,7 @@ func Train(opt TrainOptions) (*Model, TrainReport, error) {
 		defer CloseEvaluator(eval)
 	}
 	cfg := trainer.DefaultConfig(opt.TrainingPoints, opt.Seed)
+	cfg.Dataset.Workers = opt.Workers
 	if opt.C != 0 {
 		cfg.SVM.C = opt.C
 	}
@@ -256,13 +314,15 @@ func (t *Tuner) TunePredefined(q Instance) (TuningVector, time.Duration, error) 
 
 // HybridTune implements the paper's future-work coupling: rank the
 // predefined set for free, then measure only the top-k candidates with the
-// given evaluator and return the measured best.
+// given evaluator and return the measured best. The k measurements are
+// submitted as one batch: pass a BatchedEvaluator (or any BatchEvaluator)
+// to overlap them; plain evaluators run sequentially.
 func (t *Tuner) HybridTune(q Instance, k int, eval Evaluator) (TuningVector, float64, error) {
 	if eval == nil {
 		eval = Simulator()
 	}
 	cands := tunespace.NewSpace(q.Kernel.Dims()).Predefined()
-	res, err := t.inner.HybridTopK(q, cands, k, core.ObjectiveFor(eval, q))
+	res, err := t.inner.HybridTopK(q, cands, k, core.BatchObjectiveFor(dataset.Batched(eval, 1), q))
 	if err != nil {
 		return TuningVector{}, 0, err
 	}
@@ -285,16 +345,48 @@ func SearchEngineByName(name string) (SearchEngine, error) { return search.Engin
 
 // RunSearch tunes an instance with an iterative search baseline under an
 // evaluation budget, mirroring the paper's 1024-evaluation runs.
+// Evaluations run one at a time on the calling goroutine; RunSearchBatched
+// produces the identical result while overlapping them.
 func RunSearch(engine SearchEngine, q Instance, eval Evaluator, budget int, seed int64) (SearchResult, error) {
-	if err := q.Validate(); err != nil {
+	if err := validateSearch(q, budget); err != nil {
 		return SearchResult{}, err
-	}
-	if budget <= 0 {
-		return SearchResult{}, fmt.Errorf("stenciltune: budget %d must be positive", budget)
 	}
 	if eval == nil {
 		eval = Simulator()
 	}
 	space := tunespace.NewSpace(q.Kernel.Dims())
 	return engine.Search(space, core.ObjectiveFor(eval, q), budget, seed), nil
+}
+
+// RunSearchBatched is RunSearch with concurrent candidate evaluation: each
+// generation (or sampling chunk) of the engine is costed as one batch on up
+// to workers goroutines (0 or 1 = sequential, negative = GOMAXPROCS; when
+// eval already implements BatchEvaluator its own scheduling policy wins and
+// workers is ignored — see BatchedEvaluator for how to compose wrappers).
+// Results are committed in proposal order, so for the deterministic
+// simulator the SearchResult — Best, BestValue and the full History — is
+// bit-identical to RunSearch under the same seed. The evaluator must be
+// safe for concurrent use when more than one worker runs; Measure-mode
+// evaluators serialize internally, so they gain timing fidelity but no
+// overlap.
+func RunSearchBatched(engine SearchEngine, q Instance, eval Evaluator, budget int, seed int64, workers int) (SearchResult, error) {
+	if err := validateSearch(q, budget); err != nil {
+		return SearchResult{}, err
+	}
+	if eval == nil {
+		eval = Simulator()
+	}
+	space := tunespace.NewSpace(q.Kernel.Dims())
+	obj := core.BatchObjectiveFor(dataset.Batched(eval, workers), q)
+	return engine.SearchBatch(space, obj, budget, seed), nil
+}
+
+func validateSearch(q Instance, budget int) error {
+	if err := q.Validate(); err != nil {
+		return err
+	}
+	if budget <= 0 {
+		return fmt.Errorf("stenciltune: budget %d must be positive", budget)
+	}
+	return nil
 }
