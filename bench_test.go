@@ -31,6 +31,7 @@ import (
 	"repro/internal/perfmodel"
 	"repro/internal/ranking"
 	"repro/internal/search"
+	"repro/internal/shape"
 	"repro/internal/stencil"
 	"repro/internal/svmrank"
 	"repro/internal/trainer"
@@ -207,43 +208,83 @@ func BenchmarkRealExecutor(b *testing.B) {
 }
 
 // execBenchWorkspace allocates an output grid and filled input buffers for
-// the executor benchmarks.
-func execBenchWorkspace(k *exec.LinearKernel, n int) (*grid.Grid, []*grid.Grid) {
+// the executor benchmarks (nz = 1 for planar kernels).
+func execBenchWorkspace(k *exec.LinearKernel, n, nz int) (*grid.Grid, []*grid.Grid) {
 	halo := k.MaxOffset()
-	out := grid.New(n, n, n, halo, halo)
+	haloZ := halo
+	if nz == 1 {
+		haloZ = 0
+	}
+	out := grid.New(n, n, nz, halo, haloZ)
 	var ins []*grid.Grid
 	for b := 0; b < k.Buffers; b++ {
-		g := grid.New(n, n, n, halo, halo)
+		g := grid.New(n, n, nz, halo, haloZ)
 		g.FillPattern()
 		ins = append(ins, g)
 	}
 	return out, ins
 }
 
-// execBenchSizes covers both the small grids where fixed per-call overhead
-// dominates (the regime that pollutes Measure-mode training signals) and a
-// medium grid where compute dominates. Run with -benchmem: the compiled path
-// must report 0 allocs/op in steady state.
-var execBenchSizes = []int{8, 16, 64}
+// asym2DExec is an asymmetric 6-term 2-D kernel (an upwind-biased first
+// derivative plus transverse coupling). Its offset set matches none of the
+// structural fast-path shapes, so it always exercises the generic term-plan
+// executor — the path most generated training kernels take.
+func asym2DExec() *exec.LinearKernel {
+	return &exec.LinearKernel{Name: "asym2d", Buffers: 1, Terms: []exec.Term{
+		{Offset: shape.Point{}, Weight: 0.42},
+		{Offset: shape.Point{X: 1}, Weight: -0.21},
+		{Offset: shape.Point{X: 2}, Weight: 0.04},
+		{Offset: shape.Point{X: -1}, Weight: 0.31},
+		{Offset: shape.Point{Y: 1}, Weight: 0.17},
+		{Offset: shape.Point{Y: -2}, Weight: 0.27},
+	}}
+}
+
+// execBenchCase is one (kernel, geometry) point of the executor benchmarks.
+type execBenchCase struct {
+	name string
+	k    *exec.LinearKernel
+	n    int // grid extent per dimension
+	nz   int // 1 for 2-D kernels
+	tv   tunespace.Vector
+}
+
+// execBenchCases covers the small grids where fixed per-call overhead
+// dominates (the regime that pollutes Measure-mode training signals), a
+// medium grid where compute dominates, and — via asym2d and gradient — the
+// generic term-plan path that kernels without a structural fast path take.
+// Run with -benchmem: the compiled path must report 0 allocs/op in steady
+// state.
+func execBenchCases() []execBenchCase {
+	tv3 := tunespace.Vector{Bx: 32, By: 16, Bz: 8, U: 4, C: 2}
+	tv2 := tunespace.Vector{Bx: 64, By: 16, Bz: 1, U: 4, C: 2}
+	var cases []execBenchCase
+	for _, n := range []int{8, 16, 64} {
+		cases = append(cases, execBenchCase{fmt.Sprintf("n=%d", n), exec.LaplacianExec(), n, n, tv3})
+	}
+	for _, n := range []int{64, 512} {
+		cases = append(cases, execBenchCase{fmt.Sprintf("asym2d-n=%d", n), asym2DExec(), n, 1, tv2})
+	}
+	cases = append(cases, execBenchCase{"gradient-n=64", exec.GradientExec(), 64, 64, tv3})
+	return cases
+}
 
 // BenchmarkRunCompiled measures steady-state execution through the cached
 // compiled program and the persistent worker pool.
 func BenchmarkRunCompiled(b *testing.B) {
-	for _, n := range execBenchSizes {
-		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+	for _, tc := range execBenchCases() {
+		b.Run(tc.name, func(b *testing.B) {
 			r := exec.NewRunner()
 			defer r.Close()
-			k := exec.LaplacianExec()
-			out, ins := execBenchWorkspace(k, n)
-			tv := tunespace.Vector{Bx: 32, By: 16, Bz: 8, U: 4, C: 2}
-			if err := r.Run(k, out, ins, tv); err != nil { // compile + warm pool
+			out, ins := execBenchWorkspace(tc.k, tc.n, tc.nz)
+			if err := r.Run(tc.k, out, ins, tc.tv); err != nil { // compile + warm pool
 				b.Fatal(err)
 			}
-			b.SetBytes(int64(n * n * n * 8))
+			b.SetBytes(int64(tc.n * tc.n * tc.nz * 8))
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if err := r.Run(k, out, ins, tv); err != nil {
+				if err := r.Run(tc.k, out, ins, tc.tv); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -254,21 +295,19 @@ func BenchmarkRunCompiled(b *testing.B) {
 // BenchmarkRunLegacyPath measures the pre-compile baseline: tile list, term
 // plan and fast-path detection rebuilt and goroutines spawned on every call.
 func BenchmarkRunLegacyPath(b *testing.B) {
-	for _, n := range execBenchSizes {
-		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+	for _, tc := range execBenchCases() {
+		b.Run(tc.name, func(b *testing.B) {
 			r := exec.NewRunner()
 			defer r.Close()
-			k := exec.LaplacianExec()
-			out, ins := execBenchWorkspace(k, n)
-			tv := tunespace.Vector{Bx: 32, By: 16, Bz: 8, U: 4, C: 2}
-			if err := r.RunLegacy(k, out, ins, tv); err != nil {
+			out, ins := execBenchWorkspace(tc.k, tc.n, tc.nz)
+			if err := r.RunLegacy(tc.k, out, ins, tc.tv); err != nil {
 				b.Fatal(err)
 			}
-			b.SetBytes(int64(n * n * n * 8))
+			b.SetBytes(int64(tc.n * tc.n * tc.nz * 8))
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if err := r.RunLegacy(k, out, ins, tv); err != nil {
+				if err := r.RunLegacy(tc.k, out, ins, tc.tv); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -9,7 +9,12 @@
 //	stencil-bench -exp fig7     # Fig. 7: tau distribution across TS sizes
 //	stencil-bench -exp all
 //
-// Pass -csv DIR to additionally dump machine-readable results.
+// Pass -csv DIR to additionally dump machine-readable results. Pass
+// -cpuprofile / -memprofile to capture pprof profiles of a run (the
+// intended way to inspect executor hot paths without editing code):
+//
+//	stencil-bench -exp table2 -cpuprofile cpu.out -memprofile mem.out
+//	go tool pprof cpu.out
 package main
 
 import (
@@ -18,6 +23,9 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"sync"
 	"time"
 
 	"repro/internal/bench"
@@ -26,6 +34,61 @@ import (
 	"repro/internal/report"
 	"repro/internal/trainer"
 )
+
+// profiles owns the -cpuprofile/-memprofile lifecycle. Both files are
+// created up front so a bad path fails before the (potentially long)
+// experiment run, not after it. finish must run on every exit path —
+// including log.Fatal, which skips defers — so fatalf routes through it.
+type profiles struct {
+	once    sync.Once
+	cpuFile *os.File
+	memFile *os.File
+}
+
+func (p *profiles) start(cpuPath, memPath string) {
+	if memPath != "" {
+		f, err := os.Create(memPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p.memFile = f
+	}
+	if cpuPath == "" {
+		return
+	}
+	f, err := os.Create(cpuPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		log.Fatal(err)
+	}
+	p.cpuFile = f
+}
+
+func (p *profiles) finish() {
+	p.once.Do(func() {
+		if p.cpuFile != nil {
+			pprof.StopCPUProfile()
+			p.cpuFile.Close()
+			fmt.Printf("wrote %s\n", p.cpuFile.Name())
+		}
+		if p.memFile != nil {
+			defer p.memFile.Close()
+			runtime.GC() // flush recently freed objects out of the profile
+			if err := pprof.WriteHeapProfile(p.memFile); err != nil {
+				log.Print(err)
+				return
+			}
+			fmt.Printf("wrote %s\n", p.memFile.Name())
+		}
+	})
+}
+
+func (p *profiles) fatalf(format string, args ...any) {
+	p.finish()
+	log.Fatalf(format, args...)
+}
 
 func main() {
 	log.SetFlags(0)
@@ -37,7 +100,13 @@ func main() {
 	workers := flag.Int("workers", -1, "concurrent training-set generation workers (-1 = all cores, 1 = sequential); the report is identical for any value")
 	csvDir := flag.String("csv", "", "directory to write CSV result files (empty = none)")
 	htmlPath := flag.String("html", "", "write a standalone HTML report with SVG charts (requires -exp all)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile (post-GC, at exit) to this file")
 	flag.Parse()
+
+	var prof profiles
+	prof.start(*cpuProfile, *memProfile)
+	defer prof.finish()
 
 	var htmlData report.Data
 
@@ -53,7 +122,7 @@ func main() {
 
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			log.Fatal(err)
+			prof.fatalf("%v", err)
 		}
 	}
 
@@ -62,7 +131,7 @@ func main() {
 			return
 		}
 		if err := f(); err != nil {
-			log.Fatalf("%s: %v", name, err)
+			prof.fatalf("%s: %v", name, err)
 		}
 	}
 
@@ -139,7 +208,7 @@ func main() {
 	switch *exp {
 	case "all", "table1", "table2", "table3", "fig4", "fig5", "fig6", "fig7":
 	default:
-		log.Fatalf("unknown experiment %q", *exp)
+		prof.fatalf("unknown experiment %q", *exp)
 	}
 
 	if *htmlPath != "" {
@@ -148,14 +217,14 @@ func main() {
 		htmlData.MachineTag = "simulated " + machine.XeonE52680v3().Name
 		f, err := os.Create(*htmlPath)
 		if err != nil {
-			log.Fatal(err)
+			prof.fatalf("%v", err)
 		}
 		defer f.Close()
 		if err := report.Write(f, htmlData); err != nil {
-			log.Fatal(err)
+			prof.fatalf("%v", err)
 		}
 		if err := f.Close(); err != nil {
-			log.Fatal(err)
+			prof.fatalf("%v", err)
 		}
 		fmt.Printf("wrote %s\n", *htmlPath)
 	}

@@ -66,7 +66,8 @@ func New(eval dataset.Evaluator, seed int64) *Harness {
 }
 
 // Close releases resources held by evaluators that own persistent worker
-// pools (the Measure-mode executor). It is a no-op for simulator-backed
+// pools or pooled grid workspaces (the Measure-mode executor returns its
+// grids to the grid pool here). It is a no-op for simulator-backed
 // harnesses, so callers may defer it unconditionally.
 func (h *Harness) Close() {
 	for _, e := range []dataset.Evaluator{h.Eval, h.Validator} {

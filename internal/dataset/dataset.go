@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -307,6 +308,12 @@ func runJobs(set *Set, eval Evaluator, enc *feature.Encoder, jobs []genJob, opt 
 		}
 		wg.Wait()
 	}
+	total := 0
+	for _, p := range parts {
+		total += len(p.executions)
+	}
+	set.Executions = slices.Grow(set.Executions, total)
+	set.Data.Examples = slices.Grow(set.Data.Examples, total)
 	for _, p := range parts {
 		set.Executions = append(set.Executions, p.executions...)
 		set.Data.Examples = append(set.Data.Examples, p.examples...)
@@ -334,7 +341,10 @@ func generateInstance(eval Evaluator, enc *feature.Encoder, q stencil.Instance, 
 	} else {
 		vectors = space.RandomSet(rng, n)
 	}
-	var p partial
+	p := partial{
+		executions: make([]Execution, 0, len(vectors)),
+		examples:   make([]svmrank.Example, 0, len(vectors)),
+	}
 	if be, ok := eval.(BatchEvaluator); ok {
 		// Batch-capable evaluators cost the whole draw in one call (the
 		// heuristic sampler already spent its refinement probes above).

@@ -79,9 +79,11 @@ func New(k *exec.LinearKernel, nx, ny, nz int, tv tunespace.Vector, b Boundary) 
 		Boundary: b,
 		runner:   exec.NewRunner(),
 	}
-	// k.Buffers time levels plus one write target.
+	// k.Buffers time levels plus one write target. The ring comes from the
+	// grid pool (Acquire returns zeroed grids, matching New); Release hands
+	// it back when the simulation is discarded.
 	for i := 0; i <= k.Buffers; i++ {
-		s.ring = append(s.ring, grid.New(nx, ny, nz, halo, haloZ))
+		s.ring = append(s.ring, grid.Acquire(nx, ny, nz, halo, haloZ))
 	}
 	return s, nil
 }
@@ -122,6 +124,19 @@ func (s *Simulation) Step() error {
 // lazily); Close exists so applications that build many short-lived
 // simulations do not accumulate idle goroutines.
 func (s *Simulation) Close() { s.runner.Close() }
+
+// Release closes the simulation and returns its ring buffers to the grid
+// pool. Unlike Close, the simulation must not be used afterwards — its time
+// levels are gone. Applications that build many short-lived simulations of
+// the same geometry should prefer Release so successive simulations recycle
+// their rings. Release is idempotent.
+func (s *Simulation) Release() {
+	s.runner.Close()
+	for _, g := range s.ring {
+		grid.Release(g)
+	}
+	s.ring = nil
+}
 
 // Run advances n steps.
 func (s *Simulation) Run(n int) error {

@@ -6,14 +6,18 @@
 //
 // Execution is split into a compile step and an execute step. Compile takes
 // a kernel, a grid geometry and a tuning vector and produces a *Program: the
-// exact-size tile decomposition, the flattened term plan, and the structural
-// fast-path selection are all precomputed once. Programs are cached inside
-// the Runner (keyed by kernel identity, geometry and tuning vector), and the
-// Runner owns a persistent pool of worker goroutines fed by an atomic chunk
-// counter, so steady-state Run calls are allocation-free and spawn nothing.
-// This matters because the Measure evaluation mode calls Run thousands of
-// times per search: fixed per-call overhead both pollutes small-grid timings
-// (the training signal) and caps autotuning throughput.
+// exact-size tile decomposition, its flattened (base, n) row-span plan, the
+// flattened term plan, and the structural fast-path selection are all
+// precomputed once, so execution walks rows linearly with no index
+// arithmetic. Kernels without a structural fast path run through term-major
+// unit-stride passes with bounds checks compiled away (see rows.go).
+// Programs are cached inside the Runner (keyed by kernel identity, geometry
+// and tuning vector), and the Runner owns a persistent pool of worker
+// goroutines fed by an atomic chunk counter, so steady-state Run calls are
+// allocation-free and spawn nothing. This matters because the Measure
+// evaluation mode calls Run thousands of times per search: fixed per-call
+// overhead both pollutes small-grid timings (the training signal) and caps
+// autotuning throughput.
 //
 // Runner.Run is the convenience wrapper (compile-or-lookup, then execute);
 // Runner.RunLegacy preserves the original rebuild-everything, spawn-per-call
@@ -126,6 +130,7 @@ type Runner struct {
 	pool        *workerPool
 	progs       map[progKey]*Program
 	cachedTiles int
+	cachedSpans int
 }
 
 // NewRunner returns a runner using all available CPUs.
@@ -152,6 +157,7 @@ func (r *Runner) Close() {
 	r.pool = nil
 	r.progs = nil
 	r.cachedTiles = 0
+	r.cachedSpans = 0
 	r.mu.Unlock()
 	if pool != nil {
 		pool.stop()
@@ -219,7 +225,8 @@ type tile struct {
 // Run executes the kernel over the full interior with the given tuning
 // vector: the domain is decomposed into bx×by×bz tiles, consecutive runs of
 // c tiles form dispatch chunks, and the persistent workers claim chunks from
-// a shared counter. The x-innermost loop is unrolled by the factor u.
+// a shared counter. The unroll factor u selects the point unroll of the
+// specialized fast paths and the term-fusion width of the generic passes.
 //
 // Run compiles (or looks up) the cached Program for (kernel, geometry,
 // vector) and executes it; in steady state it performs no allocations and
@@ -247,8 +254,12 @@ func (r *Runner) Run(k *LinearKernel, out *grid.Grid, ins []*grid.Grid, tv tunes
 
 // RunLegacy executes without the program cache or the persistent pool: the
 // tile list, term plan and fast-path detection are rebuilt and a fresh set
-// of goroutines is spawned on every call, exactly like the pre-compile
-// executor. It is kept as the baseline for BenchmarkRunLegacyPath.
+// of goroutines is spawned on every call, and row bases are computed on the
+// fly instead of walking a precompiled span plan. It shares the rows.go
+// inner loops with the compiled path, so BenchmarkRunLegacyPath isolates
+// the per-call setup and dispatch overhead Compile amortizes — not the
+// inner-loop rewrite, whose effect shows up in the BenchmarkRunCompiled
+// trajectory across PRs.
 func (r *Runner) RunLegacy(k *LinearKernel, out *grid.Grid, ins []*grid.Grid, tv tunespace.Vector) error {
 	if err := k.Validate(); err != nil {
 		return err
@@ -310,9 +321,12 @@ func (r *Runner) RunLegacy(k *LinearKernel, out *grid.Grid, ins []*grid.Grid, tv
 	return nil
 }
 
-// decompose splits the interior into tiles in z-major order.
+// decompose splits the interior into tiles in z-major order with an
+// exact-size allocation. It is the single tile decomposition shared by
+// Compile and RunLegacy.
 func decompose(out *grid.Grid, tv tunespace.Vector) []tile {
-	var tiles []tile
+	n := ceilDiv(out.NX, tv.Bx) * ceilDiv(out.NY, tv.By) * ceilDiv(out.NZ, tv.Bz)
+	tiles := make([]tile, 0, n)
 	for z0 := 0; z0 < out.NZ; z0 += tv.Bz {
 		z1 := min(z0+tv.Bz, out.NZ)
 		for y0 := 0; y0 < out.NY; y0 += tv.By {
@@ -326,112 +340,21 @@ func decompose(out *grid.Grid, tv tunespace.Vector) []tile {
 	return tiles
 }
 
-// runTile sweeps one tile with the requested unroll factor.
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// runTile sweeps one tile through the term-plan passes, computing row bases
+// on the fly. It serves RunLegacy and the oversize-grid fallback of the
+// compiled path; compiled programs normally execute precomputed row spans
+// instead (see pool.drain).
 func runTile(p *plan, out *grid.Grid, t tile, unroll int) {
 	dst := out.Data()
-	no := len(p.idxOff)
+	fuse := fuseWidth(unroll)
+	n := t.x1 - t.x0
 	for z := t.z0; z < t.z1; z++ {
 		for y := t.y0; y < t.y1; y++ {
-			base := out.Index(t.x0, y, z)
-			n := t.x1 - t.x0
-			switch {
-			case unroll >= 8:
-				runRow8(p, dst, base, n, no)
-			case unroll >= 4:
-				runRow4(p, dst, base, n, no)
-			case unroll >= 2:
-				runRow2(p, dst, base, n, no)
-			default:
-				runRow1(p, dst, base, n, no)
-			}
+			runRowPlan(p, dst, out.Index(t.x0, y, z), n, fuse)
 		}
 	}
-}
-
-// runRow1 is the plain rolled row sweep.
-func runRow1(p *plan, dst []float64, base, n, no int) {
-	for x := 0; x < n; x++ {
-		var acc float64
-		i := base + x
-		for t := 0; t < no; t++ {
-			acc += p.weight[t] * p.data[t][i+p.idxOff[t]]
-		}
-		dst[i] = acc
-	}
-}
-
-// runRow2 processes two consecutive points per iteration with independent
-// accumulators (unroll-by-2).
-func runRow2(p *plan, dst []float64, base, n, no int) {
-	x := 0
-	for ; x+2 <= n; x += 2 {
-		var a0, a1 float64
-		i := base + x
-		for t := 0; t < no; t++ {
-			w := p.weight[t]
-			d := p.data[t]
-			j := i + p.idxOff[t]
-			a0 += w * d[j]
-			a1 += w * d[j+1]
-		}
-		dst[i] = a0
-		dst[i+1] = a1
-	}
-	runRow1(p, dst, base+x, n-x, no)
-}
-
-// runRow4 processes four consecutive points per iteration (unroll-by-4).
-func runRow4(p *plan, dst []float64, base, n, no int) {
-	x := 0
-	for ; x+4 <= n; x += 4 {
-		var a0, a1, a2, a3 float64
-		i := base + x
-		for t := 0; t < no; t++ {
-			w := p.weight[t]
-			d := p.data[t]
-			j := i + p.idxOff[t]
-			a0 += w * d[j]
-			a1 += w * d[j+1]
-			a2 += w * d[j+2]
-			a3 += w * d[j+3]
-		}
-		dst[i] = a0
-		dst[i+1] = a1
-		dst[i+2] = a2
-		dst[i+3] = a3
-	}
-	runRow1(p, dst, base+x, n-x, no)
-}
-
-// runRow8 processes eight consecutive points per iteration (unroll-by-8).
-func runRow8(p *plan, dst []float64, base, n, no int) {
-	x := 0
-	for ; x+8 <= n; x += 8 {
-		var a0, a1, a2, a3, a4, a5, a6, a7 float64
-		i := base + x
-		for t := 0; t < no; t++ {
-			w := p.weight[t]
-			d := p.data[t]
-			j := i + p.idxOff[t]
-			a0 += w * d[j]
-			a1 += w * d[j+1]
-			a2 += w * d[j+2]
-			a3 += w * d[j+3]
-			a4 += w * d[j+4]
-			a5 += w * d[j+5]
-			a6 += w * d[j+6]
-			a7 += w * d[j+7]
-		}
-		dst[i] = a0
-		dst[i+1] = a1
-		dst[i+2] = a2
-		dst[i+3] = a3
-		dst[i+4] = a4
-		dst[i+5] = a5
-		dst[i+6] = a6
-		dst[i+7] = a7
-	}
-	runRow1(p, dst, base+x, n-x, no)
 }
 
 // FromStencil converts a model kernel (internal/stencil) into an executable

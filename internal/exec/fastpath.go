@@ -225,7 +225,9 @@ func (fp *fastPlan) runRowBox(dst []float64, base, n, rows, unroll int) {
 	}
 }
 
-// runTileFast sweeps one tile through the specialized body.
+// runTileFast sweeps one tile through the specialized body, computing row
+// bases on the fly (RunLegacy and the oversize-grid fallback; compiled
+// programs walk precomputed spans via runSpansFast).
 func runTileFast(fp *fastPlan, out *grid.Grid, t tile, unroll int) {
 	dst := out.Data()
 	for z := t.z0; z < t.z1; z++ {
@@ -244,6 +246,33 @@ func runTileFast(fp *fastPlan, out *grid.Grid, t tile, unroll int) {
 			case fastBox27:
 				fp.runRowBox(dst, base, n, 9, unroll)
 			}
+		}
+	}
+}
+
+// runSpansFast sweeps a run of precompiled (base, n) row-span pairs through
+// the specialized body, with the kind dispatch hoisted out of the row loop.
+func runSpansFast(fp *fastPlan, dst []float64, spans []int32, unroll int) {
+	switch fp.kind {
+	case fastStar7:
+		for i := 0; i+1 < len(spans); i += 2 {
+			fp.runRowStar7(dst, int(spans[i]), int(spans[i+1]), unroll)
+		}
+	case fastRow3:
+		for i := 0; i+1 < len(spans); i += 2 {
+			fp.runRowRow3(dst, int(spans[i]), int(spans[i+1]), unroll)
+		}
+	case fastStar5:
+		for i := 0; i+1 < len(spans); i += 2 {
+			fp.runRowStar5(dst, int(spans[i]), int(spans[i+1]), unroll)
+		}
+	case fastBox9:
+		for i := 0; i+1 < len(spans); i += 2 {
+			fp.runRowBox(dst, int(spans[i]), int(spans[i+1]), 3, unroll)
+		}
+	case fastBox27:
+		for i := 0; i+1 < len(spans); i += 2 {
+			fp.runRowBox(dst, int(spans[i]), int(spans[i+1]), 9, unroll)
 		}
 	}
 }

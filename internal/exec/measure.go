@@ -56,9 +56,21 @@ func NewMeasurer() *Measurer {
 	}
 }
 
-// Close stops the underlying runner's worker pool. The measurer may be
-// reused afterwards.
-func (m *Measurer) Close() { m.Runner.Close() }
+// Close returns the cached workspace grids to the grid pool and stops the
+// underlying runner's worker pool. The measurer may be reused afterwards:
+// the next measurement re-acquires workspaces and restarts the pool.
+func (m *Measurer) Close() {
+	m.mu.Lock()
+	for key, w := range m.ws {
+		grid.Release(w.out)
+		for _, g := range w.ins {
+			grid.Release(g)
+		}
+		delete(m.ws, key)
+	}
+	m.mu.Unlock()
+	m.Runner.Close()
+}
 
 // maxCachedKernels bounds the executable-kernel cache; callers that mint a
 // fresh *stencil.Kernel per call would otherwise grow it without limit.
@@ -85,7 +97,9 @@ func (m *Measurer) executableFor(k *stencil.Kernel) *LinearKernel {
 
 // workspaceFor returns the cached workspace for the instance geometry,
 // growing an existing workspace's buffer list in place when a later kernel
-// needs more input buffers than any previous one did.
+// needs more input buffers than any previous one did. Workspace grids come
+// from the grid pool (Close returns them), so interleaved searches over
+// many geometries recycle buffers instead of churning the GC.
 func (m *Measurer) workspaceFor(q stencil.Instance, k *LinearKernel) *workspace {
 	halo := k.MaxOffset()
 	key := wsKey{q.Size, halo}
@@ -95,11 +109,11 @@ func (m *Measurer) workspaceFor(q stencil.Instance, k *LinearKernel) *workspace 
 		if q.Size.Is2D() {
 			haloZ = 0
 		}
-		w = &workspace{out: grid.New(q.Size.X, q.Size.Y, q.Size.Z, halo, haloZ)}
+		w = &workspace{out: grid.Acquire(q.Size.X, q.Size.Y, q.Size.Z, halo, haloZ)}
 		m.ws[key] = w
 	}
 	for len(w.ins) < k.Buffers {
-		g := grid.New(q.Size.X, q.Size.Y, q.Size.Z, w.out.Halo, w.out.HaloZ)
+		g := grid.Acquire(q.Size.X, q.Size.Y, q.Size.Z, w.out.Halo, w.out.HaloZ)
 		g.FillPattern()
 		w.ins = append(w.ins, g)
 	}

@@ -91,12 +91,18 @@ func (p *workerPool) worker() {
 	}
 }
 
-// drain claims and executes chunks until the tile list is exhausted.
+// drain claims and executes chunks until the tile list is exhausted. Chunks
+// are still claimed in units of tv.C tiles (the scheduling semantics of the
+// chunk parameter), but each claimed tile range executes through the
+// program's precompiled row spans: a linear walk of (base, n) pairs with no
+// per-row index arithmetic. Grids too large for the int32 span plan fall
+// back to computing row bases on the fly.
 func (p *workerPool) drain() {
 	prog := p.job.prog
 	out := p.job.out
 	tiles := prog.tiles
 	chunk := prog.tv.C
+	dst := out.Data()
 	for {
 		start := int(atomic.AddInt64(&p.job.next, int64(chunk))) - chunk
 		if start >= len(tiles) {
@@ -106,12 +112,21 @@ func (p *workerPool) drain() {
 		if end > len(tiles) {
 			end = len(tiles)
 		}
-		for _, t := range tiles[start:end] {
-			if prog.fp != nil {
-				runTileFast(prog.fp, out, t, prog.tv.U)
-			} else {
-				runTile(&prog.p, out, t, prog.tv.U)
+		if prog.spans == nil {
+			for _, t := range tiles[start:end] {
+				if prog.fp != nil {
+					runTileFast(prog.fp, out, t, prog.tv.U)
+				} else {
+					runTile(&prog.p, out, t, prog.tv.U)
+				}
 			}
+			continue
+		}
+		spans := prog.spans[2*int(prog.spanStart[start]) : 2*int(prog.spanStart[end])]
+		if prog.fp != nil {
+			runSpansFast(prog.fp, dst, spans, prog.tv.U)
+		} else {
+			runSpans(&prog.p, dst, spans, prog.fuse)
 		}
 	}
 }

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/grid"
 	"repro/internal/tunespace"
@@ -28,28 +29,41 @@ type progKey struct {
 	tv     tunespace.Vector
 }
 
-// Cache bounds. A program's dominant memory is its tile list; small blocking
-// sizes on large grids produce millions of tiles, so eviction is driven by
-// the total cached tile count as well as the program count. Exceeding either
-// bound evicts arbitrary entries (never the one just inserted).
+// Cache bounds. A program's dominant memory is its tile list and row-span
+// plan; small blocking sizes on large grids produce millions of tiles, and
+// the span plan holds one (base, n) pair per grid row regardless of tiling,
+// so eviction is driven by the total cached tile and span counts as well as
+// the program count. Exceeding any bound evicts arbitrary entries (never the
+// one just inserted).
 const (
 	maxCachedPrograms = 512
 	maxCachedTiles    = 1 << 20
+	maxCachedSpans    = 4 << 20
 )
 
 // Program is a compiled execution plan: the exact-size tile decomposition,
-// the flattened term plan and the fast-path selection for one (kernel,
-// geometry, tuning vector) triple, precomputed so repeated executions only
-// rebind grid data and dispatch to the persistent worker pool. Programs are
-// created and cached by Runner.Compile and execute via Program.Run against
-// any grids of the compiled geometry.
+// its flattened row-span plan, the flattened term plan and the fast-path
+// selection for one (kernel, geometry, tuning vector) triple, precomputed so
+// repeated executions only rebind grid data and dispatch to the persistent
+// worker pool. Programs are created and cached by Runner.Compile and execute
+// via Program.Run against any grids of the compiled geometry.
 type Program struct {
 	r      *Runner
 	kernel *LinearKernel
 	geom   geom
 	tv     tunespace.Vector
 
-	tiles   []tile
+	tiles []tile
+	// spans flattens every tile into (base, n) row-span pairs — base is the
+	// flat index of the row's first interior point, n its length — so workers
+	// walk rows linearly with no Index() calls or per-row arithmetic beyond a
+	// pointer bump. Tile i owns pairs spanStart[i]..spanStart[i+1]. spans is
+	// nil only for grids too large for int32 flat indices; those fall back to
+	// computing row bases on the fly (runTile).
+	spans     []int32
+	spanStart []int32
+	fuse      int // term-fusion width of the generic passes, from tv.U
+
 	termBuf []int // source buffer per term, for per-run data rebinding
 	p       plan  // idxOff/weight fixed at compile; data rebound per run
 	fp      *fastPlan
@@ -86,6 +100,7 @@ func (r *Runner) Compile(k *LinearKernel, out *grid.Grid, ins []*grid.Grid, tv t
 	}
 	r.progs[key] = pr
 	r.cachedTiles += len(pr.tiles)
+	r.cachedSpans += len(pr.spans) / 2
 	r.evictLocked(key)
 	return pr, nil
 }
@@ -110,40 +125,58 @@ func compileProgram(r *Runner, k *LinearKernel, out *grid.Grid, tv tunespace.Vec
 		pr.termBuf[i] = t.Buffer
 	}
 	pr.fp = detectFast(k, &pr.p)
-	pr.tiles = decomposeExact(out, tv)
+	pr.tiles = decompose(out, tv)
+	pr.fuse = fuseWidth(tv.U)
+	pr.spans, pr.spanStart = buildSpans(out, pr.tiles)
 	return pr
 }
 
-// decomposeExact builds the z-major tile list with an exact-size allocation.
-func decomposeExact(out *grid.Grid, tv tunespace.Vector) []tile {
-	n := ceilDiv(out.NX, tv.Bx) * ceilDiv(out.NY, tv.By) * ceilDiv(out.NZ, tv.Bz)
-	tiles := make([]tile, 0, n)
-	for z0 := 0; z0 < out.NZ; z0 += tv.Bz {
-		z1 := min(z0+tv.Bz, out.NZ)
-		for y0 := 0; y0 < out.NY; y0 += tv.By {
-			y1 := min(y0+tv.By, out.NY)
-			for x0 := 0; x0 < out.NX; x0 += tv.Bx {
-				x1 := min(x0+tv.Bx, out.NX)
-				tiles = append(tiles, tile{x0, x1, y0, y1, z0, z1})
+// buildSpans flattens the tile list into (base, n) row-span pairs plus the
+// per-tile first-pair index (spanStart[len(tiles)] caps the last tile).
+// Grids whose flat indices or total row counts overflow int32 — more than
+// 16 GB of float64, or billions of rows — get no span plan and execute
+// through the on-the-fly fallback.
+func buildSpans(out *grid.Grid, tiles []tile) (spans, spanStart []int32) {
+	if out.Len() > math.MaxInt32 {
+		return nil, nil
+	}
+	rows := 0
+	for _, t := range tiles {
+		rows += (t.y1 - t.y0) * (t.z1 - t.z0)
+	}
+	if rows > math.MaxInt32/2 {
+		return nil, nil
+	}
+	spans = make([]int32, 0, 2*rows)
+	spanStart = make([]int32, len(tiles)+1)
+	for i, t := range tiles {
+		spanStart[i] = int32(len(spans) / 2)
+		n := int32(t.x1 - t.x0)
+		for z := t.z0; z < t.z1; z++ {
+			base := out.Index(t.x0, t.y0, z)
+			for y := t.y0; y < t.y1; y++ {
+				spans = append(spans, int32(base), n)
+				base += out.StrideX()
 			}
 		}
 	}
-	return tiles
+	spanStart[len(tiles)] = int32(len(spans) / 2)
+	return spans, spanStart
 }
-
-func ceilDiv(a, b int) int { return (a + b - 1) / b }
 
 // evictLocked enforces the cache bounds, never evicting keep (the entry just
 // inserted). Callers must hold r.mu.
 func (r *Runner) evictLocked(keep progKey) {
 	for key, pr := range r.progs {
-		if len(r.progs) <= maxCachedPrograms && r.cachedTiles <= maxCachedTiles {
+		if len(r.progs) <= maxCachedPrograms && r.cachedTiles <= maxCachedTiles &&
+			r.cachedSpans <= maxCachedSpans {
 			return
 		}
 		if key == keep {
 			continue
 		}
 		r.cachedTiles -= len(pr.tiles)
+		r.cachedSpans -= len(pr.spans) / 2
 		delete(r.progs, key)
 	}
 }

@@ -181,14 +181,19 @@ func TestCompiledRunZeroAllocs(t *testing.T) {
 	cases := []struct {
 		name string
 		k    *LinearKernel
+		nz   int
 	}{
-		{"fastpath-laplacian", LaplacianExec()},
-		{"generic-gradient", GradientExec()},
-		{"multibuffer-divergence", DivergenceExec()},
+		{"fastpath-laplacian", LaplacianExec(), 24},
+		{"generic-gradient", GradientExec(), 24},
+		{"multibuffer-divergence", DivergenceExec(), 24},
+		{"generic-blur-2d", BlurExec(), 1},
 	}
 	for _, tc := range cases {
-		out, ins := buildWorkspace(t, tc.k, 24, 24, 24)
+		out, ins := buildWorkspace(t, tc.k, 24, 24, tc.nz)
 		tv := tunespace.Vector{Bx: 8, By: 8, Bz: 8, U: 2, C: 2}
+		if tc.nz == 1 {
+			tv.Bz = 1
+		}
 		if err := r.Run(tc.k, out, ins, tv); err != nil { // warm the cache
 			t.Fatalf("%s: %v", tc.name, err)
 		}

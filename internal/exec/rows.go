@@ -1,0 +1,203 @@
+package exec
+
+// This file is the generic-path inner loop of the compiled executor: it
+// computes one row span of the output as a sequence of term-major,
+// unit-stride passes instead of the historical point-major loop over the
+// term table.
+//
+// Why passes win. The point-major loop performs, per point, one indirect
+// load of weight[t], data[t] and idxOff[t] for every term — the term-table
+// indirection dominates for every kernel without a structural fast path,
+// which is most of what dataset.Generate and the tuner measure. A pass
+// touches one term's source with unit stride across the whole row, so the
+// per-term bookkeeping is paid once per row instead of once per point, the
+// loads prefetch perfectly, and the loop bodies carry no indirection at all.
+// The output row round-trips through dst between passes, but a row is at
+// most Bx elements and stays in L1.
+//
+// Bounds-check elimination. Every pass reslices its operands to a common
+// length first (dst = out[base : base+n]; src = data[base+off:][:n:n]), then
+// walks them with the slice-advance idiom (operate on s[:4], then s = s[4:]),
+// which the compiler provably needs no bounds checks for. The halo guarantee
+// makes the reslices themselves safe: base is an interior index, so
+// base+off ≥ 0 and base+off+n ≤ len(data) for every in-halo term offset.
+//
+// Summation order. Passes accumulate terms in plan order, and every fused
+// variant folds its terms left-to-right, so the result is the value Reference
+// computes at every point regardless of the fuse width (the head pass writes
+// w·d where Reference computes 0 + w·d, which differs only in the sign of a
+// zero). TestGenericRowsMatchReference asserts this across randomized
+// kernels, halos, geometries and tile sizes.
+//
+// The tuning vector's unroll factor u selects the fuse width — how many
+// terms a single pass folds (u < 2 → 1, u < 4 → 2, else 4). This preserves u
+// as a genuine performance knob on the generic path: wider fusion trades
+// register pressure for fewer dst round-trips, the same trade PATUS makes
+// when unrolling the term loop.
+
+// fuseWidth maps the tuning vector's unroll factor to the number of terms a
+// single pass folds.
+func fuseWidth(u int) int {
+	switch {
+	case u >= 4:
+		return 4
+	case u >= 2:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// src returns term t's source row for the span [base, base+n), with the
+// capacity clamped so the compiler knows later reslices cannot grow it.
+func (p *plan) src(t, base, n int) []float64 {
+	return p.data[t][base+p.idxOff[t]:][:n:n]
+}
+
+// runRowPlan computes the row span out[base : base+n] as the in-order
+// weighted sum of the plan's terms, as term-major passes of the given fuse
+// width.
+func runRowPlan(p *plan, out []float64, base, n, fuse int) {
+	dst := out[base : base+n]
+	w := p.weight
+	nt := len(w)
+	var t int
+	switch {
+	case fuse >= 4 && nt >= 4:
+		rowScale4(dst, p.src(0, base, n), p.src(1, base, n), p.src(2, base, n), p.src(3, base, n),
+			w[0], w[1], w[2], w[3])
+		t = 4
+	case fuse >= 2 && nt >= 2:
+		rowScale2(dst, p.src(0, base, n), p.src(1, base, n), w[0], w[1])
+		t = 2
+	default:
+		rowScale1(dst, p.src(0, base, n), w[0])
+		t = 1
+	}
+	if fuse >= 4 {
+		for ; nt-t >= 4; t += 4 {
+			rowAxpy4(dst, p.src(t, base, n), p.src(t+1, base, n), p.src(t+2, base, n), p.src(t+3, base, n),
+				w[t], w[t+1], w[t+2], w[t+3])
+		}
+	}
+	if fuse >= 2 {
+		for ; nt-t >= 2; t += 2 {
+			rowAxpy2(dst, p.src(t, base, n), p.src(t+1, base, n), w[t], w[t+1])
+		}
+	}
+	for ; t < nt; t++ {
+		rowAxpy1(dst, p.src(t, base, n), w[t])
+	}
+}
+
+// runSpans executes a run of (base, n) row-span pairs through the generic
+// term-plan passes.
+func runSpans(p *plan, out []float64, spans []int32, fuse int) {
+	for i := 0; i+1 < len(spans); i += 2 {
+		runRowPlan(p, out, int(spans[i]), int(spans[i+1]), fuse)
+	}
+}
+
+// rowScale1 is the head pass: dst = w·a.
+func rowScale1(dst, a []float64, w float64) {
+	a = a[:len(dst)]
+	for len(dst) >= 4 {
+		d, x := dst[:4], a[:4]
+		d[0] = w * x[0]
+		d[1] = w * x[1]
+		d[2] = w * x[2]
+		d[3] = w * x[3]
+		dst, a = dst[4:], a[4:]
+	}
+	for i := range dst {
+		dst[i] = w * a[i]
+	}
+}
+
+// rowScale2 is the 2-term fused head pass: dst = wa·a + wb·b.
+func rowScale2(dst, a, b []float64, wa, wb float64) {
+	n := len(dst)
+	a, b = a[:n], b[:n]
+	for len(dst) >= 4 {
+		d, x, y := dst[:4], a[:4], b[:4]
+		d[0] = wa*x[0] + wb*y[0]
+		d[1] = wa*x[1] + wb*y[1]
+		d[2] = wa*x[2] + wb*y[2]
+		d[3] = wa*x[3] + wb*y[3]
+		dst, a, b = dst[4:], a[4:], b[4:]
+	}
+	for i := range dst {
+		dst[i] = wa*a[i] + wb*b[i]
+	}
+}
+
+// rowScale4 is the 4-term fused head pass: dst = wa·a + wb·b + wc·c + wd·d.
+func rowScale4(dst, a, b, c, e []float64, wa, wb, wc, wd float64) {
+	n := len(dst)
+	a, b, c, e = a[:n], b[:n], c[:n], e[:n]
+	for len(dst) >= 4 {
+		d, x, y, z, u := dst[:4], a[:4], b[:4], c[:4], e[:4]
+		d[0] = wa*x[0] + wb*y[0] + wc*z[0] + wd*u[0]
+		d[1] = wa*x[1] + wb*y[1] + wc*z[1] + wd*u[1]
+		d[2] = wa*x[2] + wb*y[2] + wc*z[2] + wd*u[2]
+		d[3] = wa*x[3] + wb*y[3] + wc*z[3] + wd*u[3]
+		dst, a, b, c, e = dst[4:], a[4:], b[4:], c[4:], e[4:]
+	}
+	for i := range dst {
+		dst[i] = wa*a[i] + wb*b[i] + wc*c[i] + wd*e[i]
+	}
+}
+
+// rowAxpy1 accumulates one term: dst += w·a.
+func rowAxpy1(dst, a []float64, w float64) {
+	a = a[:len(dst)]
+	for len(dst) >= 4 {
+		d, x := dst[:4], a[:4]
+		d[0] += w * x[0]
+		d[1] += w * x[1]
+		d[2] += w * x[2]
+		d[3] += w * x[3]
+		dst, a = dst[4:], a[4:]
+	}
+	for i := range dst {
+		dst[i] += w * a[i]
+	}
+}
+
+// rowAxpy2 accumulates two fused terms in plan order. The bodies spell out
+// d = d + wa·a + wb·b rather than d += …, because += would evaluate the sum
+// of products before folding it into d — a reassociation that breaks
+// bit-equality with the sequential Reference accumulation.
+func rowAxpy2(dst, a, b []float64, wa, wb float64) {
+	n := len(dst)
+	a, b = a[:n], b[:n]
+	for len(dst) >= 4 {
+		d, x, y := dst[:4], a[:4], b[:4]
+		d[0] = d[0] + wa*x[0] + wb*y[0]
+		d[1] = d[1] + wa*x[1] + wb*y[1]
+		d[2] = d[2] + wa*x[2] + wb*y[2]
+		d[3] = d[3] + wa*x[3] + wb*y[3]
+		dst, a, b = dst[4:], a[4:], b[4:]
+	}
+	for i := range dst {
+		dst[i] = dst[i] + wa*a[i] + wb*b[i]
+	}
+}
+
+// rowAxpy4 accumulates four fused terms in plan order (see rowAxpy2 for why
+// the bodies avoid +=).
+func rowAxpy4(dst, a, b, c, e []float64, wa, wb, wc, wd float64) {
+	n := len(dst)
+	a, b, c, e = a[:n], b[:n], c[:n], e[:n]
+	for len(dst) >= 4 {
+		d, x, y, z, u := dst[:4], a[:4], b[:4], c[:4], e[:4]
+		d[0] = d[0] + wa*x[0] + wb*y[0] + wc*z[0] + wd*u[0]
+		d[1] = d[1] + wa*x[1] + wb*y[1] + wc*z[1] + wd*u[1]
+		d[2] = d[2] + wa*x[2] + wb*y[2] + wc*z[2] + wd*u[2]
+		d[3] = d[3] + wa*x[3] + wb*y[3] + wc*z[3] + wd*u[3]
+		dst, a, b, c, e = dst[4:], a[4:], b[4:], c[4:], e[4:]
+	}
+	for i := range dst {
+		dst[i] = dst[i] + wa*a[i] + wb*b[i] + wc*c[i] + wd*e[i]
+	}
+}

@@ -258,9 +258,15 @@ func NewEncoderWithBlocks(b Blocks) *Encoder { return &Encoder{blocks: b} }
 // Encode produces the feature vector for the execution (q.Kernel, q.Size, t).
 // Every emitted component lies in [0, 1].
 func (e *Encoder) Encode(q stencil.Instance, t tunespace.Vector) Vector {
-	var b builder
 	k := q.Kernel
 	sz := q.Size
+
+	// Size the builder exactly once: at most one pattern cell per shape
+	// point plus the fixed named blocks. Dataset generation calls Encode
+	// once per training point, so append-regrowth here is a dominant
+	// allocation source.
+	capHint := k.Shape.Size() + 64
+	b := builder{idx: make([]int32, 0, capHint), val: make([]float64, 0, capHint)}
 
 	if e.blocks.Pattern {
 		// Dense pattern block: cell (x,y,z) at flat index

@@ -2,6 +2,7 @@ package grid
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -160,6 +161,86 @@ func TestInteriorSumIgnoresHalo(t *testing.T) {
 	if got := g.InteriorSum(); got != 4 {
 		t.Errorf("InteriorSum = %v, want 4 (halo must not count)", got)
 	}
+}
+
+func TestFillPatternMatchesPerPointDefinition(t *testing.T) {
+	// The row-walk sweep must reproduce the original per-point formula
+	// sin(0.37x) + cos(0.21y) + 0.5·sin(0.11z) bit-for-bit, halo included.
+	g := New(9, 7, 5, 2, 1)
+	g.FillPattern()
+	for z := -g.HaloZ; z < g.NZ+g.HaloZ; z++ {
+		for y := -g.Halo; y < g.NY+g.Halo; y++ {
+			for x := -g.Halo; x < g.NX+g.Halo; x++ {
+				want := math.Sin(float64(x)*0.37) + math.Cos(float64(y)*0.21) +
+					0.5*math.Sin(float64(z)*0.11)
+				if got := g.At(x, y, z); got != want {
+					t.Fatalf("FillPattern(%d,%d,%d) = %v, want %v", x, y, z, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestInteriorSumMatchesPerPointSweep(t *testing.T) {
+	g := New(13, 9, 6, 2, 1)
+	g.FillPattern()
+	var want float64
+	for z := 0; z < g.NZ; z++ {
+		for y := 0; y < g.NY; y++ {
+			for x := 0; x < g.NX; x++ {
+				want += g.At(x, y, z)
+			}
+		}
+	}
+	if got := g.InteriorSum(); got != want {
+		t.Errorf("InteriorSum = %v, want %v (bit-for-bit)", got, want)
+	}
+}
+
+func TestAcquireReleaseZeroedAndInterchangeable(t *testing.T) {
+	g := Acquire(8, 6, 4, 2, 1)
+	if g.NX != 8 || g.NY != 6 || g.NZ != 4 || g.Halo != 2 || g.HaloZ != 1 {
+		t.Fatalf("Acquire geometry %dx%dx%d halo %d/%d", g.NX, g.NY, g.NZ, g.Halo, g.HaloZ)
+	}
+	g.Fill(3.5)
+	Release(g)
+	// Whether or not the pool hands the same grid back, contents must be
+	// indistinguishable from a fresh New.
+	h := Acquire(8, 6, 4, 2, 1)
+	for i, v := range h.Data() {
+		if v != 0 {
+			t.Fatalf("re-acquired grid cell %d = %v, want 0", i, v)
+		}
+	}
+	Release(h)
+	Release(nil) // no-op
+	// A different geometry never yields the released grid's shape.
+	other := Acquire(4, 4, 1, 1, 0)
+	if other.NX != 4 || other.NZ != 1 {
+		t.Fatalf("cross-geometry Acquire returned %dx%dx%d", other.NX, other.NY, other.NZ)
+	}
+	Release(other)
+}
+
+func TestAcquireConcurrent(t *testing.T) {
+	// Hammer one pool class from many goroutines; the race detector guards
+	// the pool map, and every grid must come back zeroed.
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				g := Acquire(16, 16, 1, 1, 0)
+				if g.Data()[0] != 0 {
+					t.Error("acquired grid not zeroed")
+				}
+				g.Fill(1)
+				Release(g)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 func TestPropertySetAtConsistent(t *testing.T) {

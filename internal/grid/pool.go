@@ -1,0 +1,56 @@
+package grid
+
+import "sync"
+
+// Grid pooling. Dataset generation and autotuning allocate the same few grid
+// geometries over and over — multi-MB buffers whose churn dominates GC work
+// in steady state. Acquire/Release recycle grids through per-geometry
+// sync.Pools: grids with equal geometry have identical strides and layout,
+// so a released grid is a perfect substitute for a fresh allocation of the
+// same shape. Under memory pressure the runtime empties the pools, so idle
+// geometries cost nothing permanently.
+
+// poolKey identifies a pool class: grids with equal geometry are
+// interchangeable.
+type poolKey struct {
+	nx, ny, nz, halo, haloZ int
+}
+
+var (
+	poolMu sync.Mutex
+	pools  = map[poolKey]*sync.Pool{}
+)
+
+func poolFor(key poolKey) *sync.Pool {
+	poolMu.Lock()
+	p := pools[key]
+	if p == nil {
+		p = &sync.Pool{}
+		pools[key] = p
+	}
+	poolMu.Unlock()
+	return p
+}
+
+// Acquire returns a zeroed grid of the given geometry, reusing a previously
+// Released grid when one is available. It is the pooled drop-in for New:
+// contents are indistinguishable from a fresh allocation. Safe for
+// concurrent use.
+func Acquire(nx, ny, nz, halo, haloZ int) *Grid {
+	p := poolFor(poolKey{nx, ny, nz, halo, haloZ})
+	if g, ok := p.Get().(*Grid); ok {
+		clear(g.data)
+		return g
+	}
+	return New(nx, ny, nz, halo, haloZ)
+}
+
+// Release returns g to the pool serving its geometry for a later Acquire.
+// The caller must not retain any reference to g (including its Data slice)
+// afterwards. Release of nil is a no-op. Safe for concurrent use.
+func Release(g *Grid) {
+	if g == nil {
+		return
+	}
+	poolFor(poolKey{g.NX, g.NY, g.NZ, g.Halo, g.HaloZ}).Put(g)
+}

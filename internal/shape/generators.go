@@ -127,7 +127,7 @@ func Laplacian2D(r int) *Shape {
 // divergence benchmarks, whose kernels do not read the updated cell.
 func Star3DNoCentre(r int) *Shape {
 	s := Laplacian3D(r)
-	delete(s.points, Point{0, 0, 0})
+	s.Remove(Point{0, 0, 0})
 	return s
 }
 

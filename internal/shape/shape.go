@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Point is a relative grid offset accessed by a stencil, with the updated
@@ -57,6 +58,11 @@ func abs(v int) int {
 // (this matters only for the divergence benchmark).
 type Shape struct {
 	points map[Point]int
+	// sorted memoizes Points(). Feature encoding calls Points() once per
+	// training point on long-lived kernels, from concurrent dataset workers;
+	// the atomic pointer makes the memo race-free (a lost duplicate build is
+	// benign). Mutators clear it.
+	sorted atomic.Pointer[[]Point]
 }
 
 // New returns a shape containing the given points, each with multiplicity 1.
@@ -78,6 +84,14 @@ func (s *Shape) Add(p Point, multiplicity int) {
 		s.points = make(map[Point]int)
 	}
 	s.points[p] += multiplicity
+	s.sorted.Store(nil)
+}
+
+// Remove deletes p from the shape entirely (all multiplicity); removing an
+// absent point is a no-op.
+func (s *Shape) Remove(p Point) {
+	delete(s.points, p)
+	s.sorted.Store(nil)
 }
 
 // Union returns a new shape whose multiplicities are the pointwise sums of
@@ -112,8 +126,13 @@ func (s *Shape) Contains(p Point) bool { _, ok := s.points[p]; return ok }
 // Multiplicity returns how many times offset p is read (0 if absent).
 func (s *Shape) Multiplicity(p Point) int { return s.points[p] }
 
-// Points returns the distinct points in canonical (z, y, x) order.
+// Points returns the distinct points in canonical (z, y, x) order. The
+// result is memoized until the shape is next mutated; callers must not
+// modify the returned slice.
 func (s *Shape) Points() []Point {
+	if pts := s.sorted.Load(); pts != nil {
+		return *pts
+	}
 	pts := make([]Point, 0, len(s.points))
 	for p := range s.points {
 		pts = append(pts, p)
@@ -127,6 +146,7 @@ func (s *Shape) Points() []Point {
 		}
 		return pts[i].X < pts[j].X
 	})
+	s.sorted.Store(&pts)
 	return pts
 }
 
