@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/buildinfo"
 	"repro/internal/machine"
 	"repro/internal/perfmodel"
 	"repro/internal/report"
@@ -102,7 +103,13 @@ func main() {
 	htmlPath := flag.String("html", "", "write a standalone HTML report with SVG charts (requires -exp all)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (post-GC, at exit) to this file")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.Read())
+		return
+	}
 
 	var prof profiles
 	prof.start(*cpuProfile, *memProfile)

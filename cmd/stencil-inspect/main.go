@@ -16,6 +16,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/buildinfo"
 	"repro/internal/feature"
 	"repro/internal/machine"
 	"repro/internal/perfmodel"
@@ -68,7 +69,13 @@ func main() {
 	tuningStr := flag.String("tuning", "32,16,4,4,2", "tuning vector bx,by,bz,u,c")
 	modelPath := flag.String("model", "", "trained model to explain")
 	top := flag.Int("top", 16, "how many weights to show per sign")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.Read())
+		return
+	}
 
 	if *kernelName == "" && *modelPath == "" {
 		log.Fatal("pass -kernel (cost breakdown) and/or -model (weight inspection)")

@@ -1,0 +1,85 @@
+// Command stencil-serve is the tuning-as-a-service daemon: it loads trained
+// ranking models from a persistent store directory (written by
+// stencil-train -save) and serves tuning, ranking and prediction over an
+// HTTP JSON API with response caching and request coalescing.
+//
+// Usage:
+//
+//	stencil-train -points 3840 -save models
+//	stencil-serve -models models -addr :8080
+//	curl -X POST -d '{"kernel":"laplacian","size":"128x128x128"}' localhost:8080/v1/tune
+//
+// Endpoints: POST /v1/tune, /v1/rank, /v1/predict; GET /v1/models, /healthz,
+// /metrics. See the README's "Serving tuned models" section for the schema.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("stencil-serve: ")
+
+	models := flag.String("models", "models", "model store directory (written by stencil-train -save)")
+	addr := flag.String("addr", ":8080", "listen address")
+	cacheSize := flag.Int("cache", 4096, "response cache capacity in entries (sharded LRU)")
+	workers := flag.Int("workers", -1, "evaluation workers per request for hybrid/predict (-1 = all cores, 1 = sequential)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout; expiry cancels the request context and stops evaluation work")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown budget for draining in-flight requests")
+	version := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.Read())
+		return
+	}
+
+	s, err := server.New(server.Config{ModelDir: *models, CacheSize: *cacheSize, Workers: *workers})
+	if err != nil {
+		log.Fatal(err)
+	}
+	names, def := s.Models()
+	log.Printf("loaded %d model(s) from %s: %v (default %q)", len(names), *models, names, def)
+
+	handler := http.Handler(s.Handler())
+	if *timeout > 0 {
+		handler = http.TimeoutHandler(handler, *timeout, `{"error":"request timed out"}`)
+	}
+	srv := &http.Server{Addr: *addr, Handler: handler}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("%s listening on %s", buildinfo.Read(), *addr)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case sig := <-sigc:
+		log.Printf("received %v, draining in-flight requests (up to %v)", sig, *drain)
+	}
+
+	// Drain in-flight tunes, then release the Close audit chain (the
+	// measuring executor's worker pool, when it ever started).
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+	s.Close()
+	log.Printf("drained; bye")
+}

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	stencil-train -points 3840 -seed 1 -out model.gob [-mode sim|measure]
+//	stencil-train -points 3840 -save models [-name default]   # store format, for stencil-serve
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"os"
 
 	stenciltune "repro"
+	"repro/internal/buildinfo"
 )
 
 func main() {
@@ -22,11 +24,19 @@ func main() {
 
 	points := flag.Int("points", 3840, "training-set size (Table II uses 960..32000)")
 	seed := flag.Int64("seed", 1, "random seed for reproducible training")
-	out := flag.String("out", "model.gob", "output path for the trained model")
+	out := flag.String("out", "model.gob", "output path for the trained model (legacy gob format)")
+	saveDir := flag.String("save", "", "also save into this model store directory (versioned format with provenance; what stencil-serve -models and stencil-tune -model load)")
+	name := flag.String("name", "default", "artifact name within the -save store")
 	mode := flag.String("mode", "sim", "evaluation substrate: sim (deterministic Xeon model) or measure (real timed execution)")
 	cParam := flag.Float64("c", 0, "override the ranking-SVM regularization C (0 = default)")
 	workers := flag.Int("workers", -1, "concurrent training-set generation workers (-1 = all cores, 1 = sequential); the trained model is identical for any value")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.Read())
+		return
+	}
 
 	opt := stenciltune.TrainOptions{
 		TrainingPoints: *points,
@@ -61,4 +71,12 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("model saved to %s (%d bytes)\n", *out, info.Size())
+
+	if *saveDir != "" {
+		if err := stenciltune.SaveModel(*saveDir, *name, model); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("model artifact %q saved to store %s (serve with: stencil-serve -models %s)\n",
+			*name, *saveDir, *saveDir)
+	}
 }

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	stenciltune "repro"
+	"repro/internal/buildinfo"
 	"repro/internal/dsl"
 )
 
@@ -68,13 +69,19 @@ func main() {
 	kernelName := flag.String("kernel", "laplacian", "benchmark kernel name (Table III): blur, edge, game-of-life, wave-1, tricubic, divergence, gradient, laplacian, laplacian6")
 	dslPath := flag.String("dsl", "", "tune a custom stencil from a DSL file instead of a named benchmark (first definition, or select with -kernel)")
 	sizeStr := flag.String("size", "128x128x128", "grid size, e.g. 1024x1024 or 128x128x128")
-	modelPath := flag.String("model", "", "trained model file (empty = train a fresh 3840-point model)")
+	modelPath := flag.String("model", "", "trained model: a gob file or a store directory written by stencil-train -save (empty = train a fresh 3840-point model)")
 	points := flag.Int("points", 3840, "training points when training fresh")
 	seed := flag.Int64("seed", 1, "seed for fresh training")
 	topk := flag.Int("topk", 0, "hybrid mode: additionally evaluate the top-k ranked candidates and pick the measured best")
 	mode := flag.String("mode", "sim", "evaluation substrate for -topk and reporting: sim or measure")
 	workers := flag.Int("workers", -1, "concurrent evaluations for fresh training and -topk (-1 = all cores, 1 = sequential); results are identical for any value")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.Read())
+		return
+	}
 
 	var kernel *stenciltune.Kernel
 	var err error

@@ -1,0 +1,66 @@
+// Package buildinfo exposes the version identity of a stenciltune binary,
+// derived from the build metadata the Go toolchain embeds. Every cmd binary
+// offers a -version flag backed by it and the serving subsystem reports it
+// from /healthz, so a fleet of tuning servers can be audited for build skew.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Info is the resolved build identity.
+type Info struct {
+	// Version is the main-module version ("(devel)" for plain `go build`
+	// from a working tree, a semver tag for `go install module@version`).
+	Version string
+	// Commit is the VCS revision the binary was built from, when the build
+	// had VCS metadata (empty otherwise). Dirty working trees get a
+	// "+dirty" suffix.
+	Commit string
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string
+}
+
+// Read resolves the build identity of the running binary. It never fails:
+// binaries built without module or VCS metadata (e.g. test binaries) degrade
+// to "unknown" fields.
+func Read() Info {
+	info := Info{Version: "unknown", GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	var revision string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			revision = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if revision != "" {
+		if len(revision) > 12 {
+			revision = revision[:12]
+		}
+		if dirty {
+			revision += "+dirty"
+		}
+		info.Commit = revision
+	}
+	return info
+}
+
+// String renders the identity as a one-line banner for -version output.
+func (i Info) String() string {
+	if i.Commit == "" {
+		return fmt.Sprintf("stenciltune %s (%s)", i.Version, i.GoVersion)
+	}
+	return fmt.Sprintf("stenciltune %s (commit %s, %s)", i.Version, i.Commit, i.GoVersion)
+}

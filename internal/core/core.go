@@ -74,6 +74,28 @@ func (t *Tuner) Best(q stencil.Instance, cands []tunespace.Vector) (tunespace.Ve
 	return cands[t.Model.ArgBestBatch(xs)], nil
 }
 
+// Scores returns the model score of every candidate (higher ranks better),
+// encoded and scored in one ScoreBatch call. The tuning server's scoring
+// endpoint is backed by it.
+func (t *Tuner) Scores(q stencil.Instance, cands []tunespace.Vector) ([]float64, error) {
+	xs, err := t.encode(q, cands)
+	if err != nil {
+		return nil, err
+	}
+	return t.Model.ScoreBatch(xs), nil
+}
+
+// RankScored returns Rank's permutation together with every candidate's
+// score (index-aligned with cands), paying encoding and scoring once.
+func (t *Tuner) RankScored(q stencil.Instance, cands []tunespace.Vector) ([]int, []float64, error) {
+	xs, err := t.encode(q, cands)
+	if err != nil {
+		return nil, nil, err
+	}
+	order, scores := t.Model.RankWithScores(xs)
+	return order, scores, nil
+}
+
 // TunePredefined runs the standalone mode of Sec. VI-A: rank the
 // hierarchically-sampled power-of-two predefined set for the instance's
 // dimensionality (1600 configurations for 2-D, 8640 for 3-D) and return the

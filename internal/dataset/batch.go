@@ -1,6 +1,8 @@
 package dataset
 
 import (
+	"context"
+	"math"
 	"runtime"
 	"sync"
 
@@ -33,16 +35,29 @@ type closer interface{ Close() }
 // trusting its own scheduling policy (compose Memoized *around* Batched,
 // not inside it, to both cache and fan out).
 func Batched(eval Evaluator, workers int) BatchEvaluator {
+	return BatchedContext(context.Background(), eval, workers)
+}
+
+// BatchedContext is Batched with cooperative cancellation: once ctx is
+// cancelled the fan-out stops issuing evaluations and every unevaluated slot
+// reports +Inf (the same "avoid this" sentinel invalid configurations use),
+// so a server request timeout actually stops simulator work instead of
+// finishing the batch. With context.Background() the behaviour — and the
+// result — is identical to Batched. Like Batched, an eval that already
+// implements BatchEvaluator is returned unchanged with its own scheduling
+// (and cancellation) policy.
+func BatchedContext(ctx context.Context, eval Evaluator, workers int) BatchEvaluator {
 	if be, ok := eval.(BatchEvaluator); ok {
 		return be
 	}
 	if workers < 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &batched{eval: eval, workers: max(workers, 1)}
+	return &batched{ctx: ctx, eval: eval, workers: max(workers, 1)}
 }
 
 type batched struct {
+	ctx     context.Context
 	eval    Evaluator
 	workers int
 }
@@ -61,6 +76,10 @@ func (b *batched) RuntimeBatch(q stencil.Instance, ts []tunespace.Vector) []floa
 	w := min(b.workers, len(ts))
 	if w <= 1 {
 		for i, tv := range ts {
+			if b.cancelled() {
+				out[i] = math.Inf(1)
+				continue
+			}
 			out[i] = b.eval.Runtime(q, tv)
 		}
 		return out
@@ -73,12 +92,23 @@ func (b *batched) RuntimeBatch(q stencil.Instance, ts []tunespace.Vector) []floa
 		go func(s, e int) {
 			defer wg.Done()
 			for i := s; i < e; i++ {
+				if b.cancelled() {
+					out[i] = math.Inf(1)
+					continue
+				}
 				out[i] = b.eval.Runtime(q, ts[i])
 			}
 		}(s, e)
 	}
 	wg.Wait()
 	return out
+}
+
+// cancelled reports whether the adapter's context has been cancelled. The
+// Background context of the plain Batched constructor can never cancel, so
+// the sequential path stays behaviour-identical.
+func (b *batched) cancelled() bool {
+	return b.ctx != nil && b.ctx.Err() != nil
 }
 
 // Close forwards to the wrapped evaluator when it holds resources.

@@ -1,0 +1,90 @@
+package dataset
+
+import (
+	"context"
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/stencil"
+	"repro/internal/tunespace"
+)
+
+// cancellingEval counts calls and cancels the context after `cancelAfter`
+// evaluations.
+type cancellingEval struct {
+	calls       atomic.Int64
+	cancelAfter int64
+	cancel      context.CancelFunc
+}
+
+func (e *cancellingEval) Runtime(q stencil.Instance, t tunespace.Vector) float64 {
+	if e.calls.Add(1) == e.cancelAfter {
+		e.cancel()
+	}
+	return 1e-3
+}
+
+func ctxTestInstance() stencil.Instance {
+	return stencil.Instance{Kernel: stencil.Laplacian(), Size: stencil.Size3D(64, 64, 64)}
+}
+
+func ctxTestVectors(n int) []tunespace.Vector {
+	out := make([]tunespace.Vector, n)
+	for i := range out {
+		out[i] = tunespace.Vector{Bx: 2 + i%16, By: 4, Bz: 4, U: 0, C: 1}
+	}
+	return out
+}
+
+// TestBatchedContextCancelStopsWork: after cancellation the fan-out must
+// stop calling the evaluator and fill remaining slots with +Inf.
+func TestBatchedContextCancelStopsWork(t *testing.T) {
+	const n = 512
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		eval := &cancellingEval{cancelAfter: 8, cancel: cancel}
+		be := BatchedContext(ctx, eval, workers)
+		out := be.RuntimeBatch(ctxTestInstance(), ctxTestVectors(n))
+		if len(out) != n {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(out), n)
+		}
+		calls := eval.calls.Load()
+		if calls >= n {
+			t.Errorf("workers=%d: evaluator ran all %d evaluations despite cancellation", workers, calls)
+		}
+		infs := 0
+		for _, v := range out {
+			if math.IsInf(v, 1) {
+				infs++
+			}
+		}
+		if infs == 0 {
+			t.Errorf("workers=%d: no +Inf sentinels for cancelled slots", workers)
+		}
+		if int(calls)+infs != n {
+			t.Errorf("workers=%d: %d calls + %d sentinels != %d slots", workers, calls, infs, n)
+		}
+		cancel()
+	}
+}
+
+// TestBatchedContextBackgroundIdentical: with a Background context the
+// adapter behaves exactly like Batched.
+func TestBatchedContextBackgroundIdentical(t *testing.T) {
+	q := ctxTestInstance()
+	vs := ctxTestVectors(64)
+	plain := Batched(fixedEval{}, 4).RuntimeBatch(q, vs)
+	withCtx := BatchedContext(context.Background(), fixedEval{}, 4).RuntimeBatch(q, vs)
+	for i := range plain {
+		if plain[i] != withCtx[i] {
+			t.Fatalf("slot %d: %v != %v", i, plain[i], withCtx[i])
+		}
+	}
+}
+
+type fixedEval struct{}
+
+func (fixedEval) Runtime(q stencil.Instance, t tunespace.Vector) float64 {
+	return float64(t.Bx) * 1e-6
+}

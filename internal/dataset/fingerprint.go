@@ -1,0 +1,28 @@
+package dataset
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"io"
+	"math"
+)
+
+// Fingerprint returns a stable content hash of the training set: every
+// execution's instance id, tuning vector and exact runtime bits, in set
+// order. Two sets fingerprint identically iff they would fit the identical
+// model, so the model store records it as dataset provenance. Generation is
+// deterministic in (Seed, TargetPoints) at any worker count, which makes the
+// fingerprint reproducible across machines for simulated training sets.
+func (s *Set) Fingerprint() string {
+	h := sha256.New()
+	buf := make([]byte, 0, 48)
+	for _, e := range s.Executions {
+		io.WriteString(h, e.Instance.ID())
+		buf = append(buf[:0], 0)
+		buf = e.Tuning.AppendFields(buf)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Runtime))
+		h.Write(buf)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

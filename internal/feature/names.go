@@ -2,6 +2,17 @@ package feature
 
 import "fmt"
 
+// Names returns the labels of every feature index in order. The slice is
+// freshly allocated; the model store persists it alongside trained weights so
+// a saved model records exactly which encoding it was fitted against.
+func Names() []string {
+	out := make([]string, Dim)
+	for i := range out {
+		out[i] = Name(i)
+	}
+	return out
+}
+
 // Name returns a human-readable label for a feature index, used by the
 // model-inspection tooling to explain learned weights.
 func Name(idx int) string {

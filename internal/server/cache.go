@@ -1,0 +1,95 @@
+package server
+
+import (
+	"container/list"
+	"hash/fnv"
+	"sync"
+)
+
+// lruShards keeps lock contention bounded under concurrent serving: keys
+// hash-partition across shards, each with its own mutex and LRU list.
+const lruShards = 16
+
+// lruCache is a sharded, capacity-bounded LRU of serialized responses. It is
+// the serve-many layer of the tuning service: an inference computed once is
+// answered from memory for every later identical request until evicted.
+type lruCache struct {
+	shards [lruShards]lruShard
+}
+
+type lruShard struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recent
+	entries  map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val []byte
+}
+
+// newLRU builds a cache holding at most capacity entries in total
+// (distributed over the shards; each shard holds at least one).
+func newLRU(capacity int) *lruCache {
+	per := max(capacity/lruShards, 1)
+	c := &lruCache{}
+	for i := range c.shards {
+		c.shards[i] = lruShard{
+			capacity: per,
+			order:    list.New(),
+			entries:  make(map[string]*list.Element, per),
+		}
+	}
+	return c
+}
+
+func (c *lruCache) shard(key string) *lruShard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &c.shards[h.Sum32()%lruShards]
+}
+
+// Get returns the cached response for key and refreshes its recency.
+func (c *lruCache) Get(key string) ([]byte, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[key]
+	if !ok {
+		return nil, false
+	}
+	s.order.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// Put stores a response, evicting the shard's least-recently-used entry when
+// full. Callers must not mutate val afterwards.
+func (c *lruCache) Put(key string, val []byte) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[key]; ok {
+		el.Value.(*lruEntry).val = val
+		s.order.MoveToFront(el)
+		return
+	}
+	for s.order.Len() >= s.capacity {
+		oldest := s.order.Back()
+		s.order.Remove(oldest)
+		delete(s.entries, oldest.Value.(*lruEntry).key)
+	}
+	s.entries[key] = s.order.PushFront(&lruEntry{key: key, val: val})
+}
+
+// Len returns the total number of cached responses.
+func (c *lruCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.order.Len()
+		s.mu.Unlock()
+	}
+	return n
+}

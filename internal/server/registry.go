@@ -1,0 +1,85 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/perfmodel"
+	"repro/internal/store"
+)
+
+// loadedModel is one servable artifact: the ranking tuner around its weights
+// plus the simulator for the machine it was trained against.
+type loadedModel struct {
+	info  store.Info
+	art   *store.Artifact
+	tuner *core.Tuner
+	// sim is the deterministic evaluator for this model's machine
+	// description (the training default when the artifact carries none).
+	// *perfmodel.Model is read-only and safe for any concurrency.
+	sim *perfmodel.Model
+}
+
+// Registry is the set of models a server instance answers for, loaded once
+// at startup from a store directory. All fields are read-only after
+// loadRegistry returns, so handlers never lock it.
+type Registry struct {
+	models      map[string]*loadedModel
+	names       []string
+	defaultName string
+}
+
+// loadRegistry hash-verifies and loads every artifact in the store at dir.
+// The default model is the one named "default", or the only artifact, or —
+// with several and no "default" — the first in name order.
+func loadRegistry(dir string) (*Registry, error) {
+	st, err := store.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	infos, err := st.List()
+	if err != nil {
+		return nil, err
+	}
+	if len(infos) == 0 {
+		return nil, fmt.Errorf("server: no model artifacts in %s (train one with stencil-train -save %s)", dir, dir)
+	}
+	r := &Registry{models: make(map[string]*loadedModel, len(infos))}
+	for _, in := range infos {
+		art, err := st.Load(in.Name)
+		if err != nil {
+			return nil, err
+		}
+		mach := art.Machine
+		if mach == nil {
+			mach = machine.XeonE52680v3()
+		}
+		r.models[in.Name] = &loadedModel{
+			info:  in,
+			art:   art,
+			tuner: core.New(art.Model),
+			sim:   perfmodel.New(mach),
+		}
+		r.names = append(r.names, in.Name)
+	}
+	sort.Strings(r.names)
+	r.defaultName = r.names[0]
+	if _, ok := r.models["default"]; ok {
+		r.defaultName = "default"
+	}
+	return r, nil
+}
+
+// resolve returns the named model, or the default for an empty name.
+func (r *Registry) resolve(name string) (*loadedModel, error) {
+	if name == "" {
+		name = r.defaultName
+	}
+	m, ok := r.models[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown model %q (loaded: %v)", name, r.names)
+	}
+	return m, nil
+}

@@ -1,0 +1,778 @@
+// Package server is the HTTP tuning service of the serving subsystem:
+// tuning-as-a-service around the persistent model store. A trained ranking
+// model orders tuning vectors for unseen stencils without executing them, so
+// tuning is a cheap inference query — exactly the shape of a high-traffic
+// online service. The server loads a registry of stored models and answers:
+//
+//	POST /v1/tune     rank the predefined configuration set, return the best
+//	                  vector (optionally hybrid: measure the top-k and pick)
+//	POST /v1/rank     rank an explicit (or the predefined) candidate set
+//	POST /v1/predict  per-vector runtimes (simulator or measured) or scores
+//	GET  /v1/models   list the loaded models with their provenance
+//	GET  /healthz     liveness + build identity
+//	GET  /metrics     expvar counters (requests, cache, coalescing, ...)
+//
+// Hot-path economics: responses are cached in a sharded LRU keyed by (model,
+// kernel structure, size, vector set, mode), and concurrent identical
+// requests coalesce through a singleflight group, so a thundering herd of
+// equal tune queries costs a single inference. Evaluation reuses the batch
+// pipeline — BatchedContext fan-out honoring the request context, Memoized
+// de-duplication — and mode=measure requests serialize wall-clock timing
+// through exec.Measurer.MeasureBatch for fidelity (the measurer's pooled
+// grids and compiled plans make repeats allocation-free).
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/dsl"
+	"repro/internal/exec"
+	"repro/internal/shape"
+	"repro/internal/stencil"
+	"repro/internal/tunespace"
+)
+
+// Config sizes a server instance.
+type Config struct {
+	// ModelDir is the store directory holding the artifacts to serve.
+	ModelDir string
+	// CacheSize bounds the response LRU in entries (default 4096).
+	CacheSize int
+	// Workers bounds the evaluation fan-out per request for simulated
+	// prediction and hybrid tuning (0/1 sequential, negative GOMAXPROCS —
+	// the convention of every workers knob in this codebase; default -1).
+	Workers int
+}
+
+// Server is the tuning service. Create with New, mount Handler, Close when
+// done (it owns the measuring executor's worker pool).
+type Server struct {
+	reg    *Registry
+	cache  *lruCache
+	flight flightGroup
+
+	workers int
+	start   time.Time
+	build   buildinfo.Info
+
+	// metrics is an unpublished expvar.Map so independent Server instances
+	// (tests run many per process) keep independent counters.
+	metrics *expvar.Map
+
+	// measureMu guards the lazily created measurer against Close: an http
+	// TimeoutHandler can detach a measure request's goroutine from
+	// Shutdown's drain, so creation and teardown must synchronize.
+	measureMu sync.Mutex
+	measurer  *exec.Measurer
+	closed    bool
+
+	// testHookInfer, when set, runs at the start of every non-coalesced
+	// inference — the coalescing tests gate it to hold a computation open.
+	testHookInfer func()
+}
+
+// New loads every artifact under cfg.ModelDir and returns a ready server.
+func New(cfg Config) (*Server, error) {
+	reg, err := loadRegistry(cfg.ModelDir)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 4096
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = -1
+	}
+	s := &Server{
+		reg:     reg,
+		cache:   newLRU(cfg.CacheSize),
+		workers: cfg.Workers,
+		start:   time.Now(),
+		build:   buildinfo.Read(),
+		metrics: new(expvar.Map).Init(),
+	}
+	return s, nil
+}
+
+// Close releases resources owned by the server: the measuring executor's
+// persistent worker pool, when mode=measure requests ever started it. The
+// server must not serve after Close; a straggler measure request detached by
+// a timeout wrapper fails cleanly instead of resurrecting the pool.
+func (s *Server) Close() {
+	s.measureMu.Lock()
+	defer s.measureMu.Unlock()
+	s.closed = true
+	if s.measurer != nil {
+		s.measurer.Close()
+		s.measurer = nil
+	}
+}
+
+// getMeasurer lazily creates the shared measuring executor; nil after Close.
+func (s *Server) getMeasurer() *exec.Measurer {
+	s.measureMu.Lock()
+	defer s.measureMu.Unlock()
+	if s.closed {
+		return nil
+	}
+	if s.measurer == nil {
+		s.measurer = exec.NewMeasurer()
+	}
+	return s.measurer
+}
+
+// Models returns the loaded model names (sorted) and the default name.
+func (s *Server) Models() ([]string, string) { return s.reg.names, s.reg.defaultName }
+
+// MetricValue returns a counter's current value (0 when never touched).
+func (s *Server) MetricValue(name string) int64 {
+	if v, ok := s.metrics.Get(name).(*expvar.Int); ok {
+		return v.Value()
+	}
+	return 0
+}
+
+// FlightWaiting reports how many requests are currently parked behind an
+// in-flight identical computation.
+func (s *Server) FlightWaiting() int { return s.flight.Waiting() }
+
+// Handler returns the route mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/tune", s.post(s.handleTune))
+	mux.HandleFunc("/v1/rank", s.post(s.handleRank))
+	mux.HandleFunc("/v1/predict", s.post(s.handlePredict))
+	mux.HandleFunc("/v1/models", s.handleModels)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// ---------------------------------------------------------------------------
+// Wire types
+
+// vectorJSON is the tuning vector on the wire. A 2-D request may omit bz
+// (normalized to the required bz=1).
+type vectorJSON struct {
+	Bx int `json:"bx"`
+	By int `json:"by"`
+	Bz int `json:"bz,omitempty"`
+	U  int `json:"u"`
+	C  int `json:"c"`
+}
+
+func fromVector(v tunespace.Vector) vectorJSON {
+	return vectorJSON{Bx: v.Bx, By: v.By, Bz: v.Bz, U: v.U, C: v.C}
+}
+
+func (v vectorJSON) toVector(dims int) tunespace.Vector {
+	out := tunespace.Vector{Bx: v.Bx, By: v.By, Bz: v.Bz, U: v.U, C: v.C}
+	if dims == 2 && out.Bz == 0 {
+		out.Bz = 1
+	}
+	return out
+}
+
+// kernelSpec selects the stencil kernel: a Table III benchmark name (the
+// JSON may also be a bare string), an inline DSL source, or an explicit
+// offset list.
+type kernelSpec struct {
+	Name    string  `json:"name,omitempty"`
+	DSL     string  `json:"dsl,omitempty"`
+	Offsets [][]int `json:"offsets,omitempty"`
+	Buffers int     `json:"buffers,omitempty"`
+	DType   string  `json:"dtype,omitempty"`
+}
+
+type instanceRequest struct {
+	Model  string          `json:"model,omitempty"`
+	Kernel json.RawMessage `json:"kernel"`
+	Size   string          `json:"size"`
+}
+
+func (r *instanceRequest) instance() (stencil.Instance, error) {
+	if len(r.Kernel) == 0 {
+		return stencil.Instance{}, fmt.Errorf("missing kernel")
+	}
+	var spec kernelSpec
+	var name string
+	if err := json.Unmarshal(r.Kernel, &name); err == nil {
+		spec.Name = name
+	} else if err := json.Unmarshal(r.Kernel, &spec); err != nil {
+		return stencil.Instance{}, fmt.Errorf("kernel must be a name or an object: %v", err)
+	}
+	k, err := buildKernel(spec)
+	if err != nil {
+		return stencil.Instance{}, err
+	}
+	size, err := parseSize(r.Size)
+	if err != nil {
+		return stencil.Instance{}, err
+	}
+	q := stencil.Instance{Kernel: k, Size: size}
+	if err := q.Validate(); err != nil {
+		return stencil.Instance{}, err
+	}
+	return q, nil
+}
+
+func buildKernel(spec kernelSpec) (*stencil.Kernel, error) {
+	switch {
+	case spec.DSL != "":
+		defs, err := dsl.ParseString(spec.DSL)
+		if err != nil {
+			return nil, fmt.Errorf("parsing kernel DSL: %v", err)
+		}
+		for _, d := range defs {
+			if d.Name == spec.Name {
+				return d.Kernel(), nil
+			}
+		}
+		return defs[0].Kernel(), nil
+	case len(spec.Offsets) > 0:
+		sh := shape.New()
+		for _, o := range spec.Offsets {
+			p := shape.Point{}
+			switch len(o) {
+			case 2:
+				p = shape.Point{X: o[0], Y: o[1]}
+			case 3:
+				p = shape.Point{X: o[0], Y: o[1], Z: o[2]}
+			default:
+				return nil, fmt.Errorf("offset %v must have 2 or 3 components", o)
+			}
+			sh.Add(p, 1)
+		}
+		name := spec.Name
+		if name == "" {
+			name = "custom"
+		}
+		buffers := max(spec.Buffers, 1)
+		dt := stencil.Float32
+		switch spec.DType {
+		case "", "float", "float32":
+		case "double", "float64":
+			dt = stencil.Float64
+		default:
+			return nil, fmt.Errorf("unknown dtype %q (want float or double)", spec.DType)
+		}
+		return &stencil.Kernel{Name: name, Shape: sh, Buffers: buffers, Type: dt}, nil
+	case spec.Name != "":
+		return stencil.KernelByName(spec.Name)
+	default:
+		return nil, fmt.Errorf("kernel needs a name, dsl or offsets")
+	}
+}
+
+func parseSize(s string) (stencil.Size, error) {
+	var x, y, z int
+	if n, err := fmt.Sscanf(s, "%dx%dx%d", &x, &y, &z); err == nil && n == 3 {
+		return stencil.Size3D(x, y, z), nil
+	}
+	if n, err := fmt.Sscanf(s, "%dx%d", &x, &y); err == nil && n == 2 {
+		return stencil.Size2D(x, y), nil
+	}
+	return stencil.Size{}, fmt.Errorf("size %q must be NxM or NxMxK", s)
+}
+
+// ---------------------------------------------------------------------------
+// Cache keys
+
+// hashInts writes ints to a running hash as canonical little-endian int64s.
+func hashInts(h io.Writer, vals ...int) {
+	var buf [8]byte
+	for _, v := range vals {
+		binary.LittleEndian.PutUint64(buf[:], uint64(int64(v)))
+		h.Write(buf[:])
+	}
+}
+
+// kernelFingerprint hashes the kernel *structure* — access pattern with
+// multiplicities, buffer count, dtype, flop cost — so two requests
+// describing the same stencil under different names share cache entries and
+// coalesce. The kernel name is informational only (it never enters feature
+// encoding or the simulator), so structurally equal kernels are genuinely
+// interchangeable; the cached response's instance label reflects the request
+// that computed the entry.
+func kernelFingerprint(k *stencil.Kernel) string {
+	h := sha256.New()
+	hashInts(h, k.Dims(), k.Buffers, int(k.Type), k.Flops())
+	for _, p := range k.Shape.Points() {
+		hashInts(h, p.X, p.Y, p.Z, k.Shape.Multiplicity(p))
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+func vectorSetHash(vs []tunespace.Vector) string {
+	h := sha256.New()
+	var buf []byte
+	for _, v := range vs {
+		buf = v.AppendFields(buf[:0])
+		h.Write(buf)
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// ---------------------------------------------------------------------------
+// HTTP plumbing
+
+func (s *Server) post(h func(w http.ResponseWriter, r *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("%s needs POST", r.URL.Path))
+			return
+		}
+		h(w, r)
+	}
+}
+
+func (s *Server) fail(w http.ResponseWriter, code int, err error) {
+	s.metrics.Add("errors", 1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func decode(r *http.Request, v any) error {
+	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, 16<<20))
+	if err != nil {
+		return fmt.Errorf("reading body: %v", err)
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("decoding request: %v", err)
+	}
+	return nil
+}
+
+// serveCached answers from the LRU, or coalesces concurrent identical
+// misses into one compute call whose serialized response is cached. Compute
+// runs under the flight leader's request context; when the leader's client
+// vanishes mid-compute (disconnect, timeout) its cancellation must not
+// poison healthy coalesced waiters, so a waiter that receives a context
+// error retries the flight under its own context. The X-Cache header
+// reports which path answered: hit, miss or coalesced.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string, compute func(ctx context.Context) (any, error)) {
+	s.metrics.Add("requests", 1)
+	if b, ok := s.cache.Get(key); ok {
+		s.metrics.Add("cache_hits", 1)
+		s.respond(w, "hit", b)
+		return
+	}
+	s.metrics.Add("cache_misses", 1)
+	run := func() ([]byte, error) {
+		if s.testHookInfer != nil {
+			s.testHookInfer()
+		}
+		s.metrics.Add("inferences", 1)
+		resp, err := compute(r.Context())
+		if err != nil {
+			return nil, err
+		}
+		b, err := json.Marshal(resp)
+		if err != nil {
+			return nil, err
+		}
+		s.cache.Put(key, b)
+		return b, nil
+	}
+	b, err, shared := s.flight.Do(r.Context(), key, run)
+	if err != nil && shared && isCtxErr(err) && r.Context().Err() == nil {
+		// The leader was cancelled, we were not: retry as (or behind) a new
+		// leader, and report what the retry actually did.
+		s.metrics.Add("flight_retries", 1)
+		b, err, shared = s.flight.Do(r.Context(), key, run)
+	}
+	if err != nil {
+		code := http.StatusBadRequest
+		if isCtxErr(err) {
+			code = http.StatusServiceUnavailable
+		}
+		s.fail(w, code, err)
+		return
+	}
+	source := "miss"
+	if shared {
+		s.metrics.Add("coalesced", 1)
+		source = "coalesced"
+	}
+	s.respond(w, source, b)
+}
+
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+func (s *Server) respond(w http.ResponseWriter, source string, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", source)
+	w.Write(body)
+	w.Write([]byte("\n"))
+}
+
+// evaluatorFor builds the per-request evaluation stack for a mode:
+// request-scoped memoization over a context-honoring fan-out of the model's
+// simulator, or the shared wall-clock measurer (which batches natively,
+// serialized for timing fidelity).
+func (s *Server) evaluatorFor(ctx context.Context, lm *loadedModel, mode string) (dataset.BatchEvaluator, error) {
+	switch mode {
+	case "", "sim":
+		return dataset.Memoized(dataset.BatchedContext(ctx, lm.sim, s.workers)), nil
+	case "measure":
+		s.metrics.Add("measure_requests", 1)
+		m := s.getMeasurer()
+		if m == nil {
+			return nil, fmt.Errorf("server is shutting down")
+		}
+		return dataset.Memoized(measuredEval{m}), nil
+	default:
+		return nil, fmt.Errorf("unknown mode %q (want sim or measure)", mode)
+	}
+}
+
+// measuredEval adapts the shared executor; MeasureBatch serializes the whole
+// batch under one lock so interleaved timings cannot corrupt each other.
+type measuredEval struct{ m *exec.Measurer }
+
+func (e measuredEval) Runtime(q stencil.Instance, t tunespace.Vector) float64 {
+	out, _ := e.m.MeasureBatch(q, []tunespace.Vector{t})
+	return out[0]
+}
+
+func (e measuredEval) RuntimeBatch(q stencil.Instance, ts []tunespace.Vector) []float64 {
+	out, _ := e.m.MeasureBatch(q, ts)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Endpoints
+
+type tuneRequest struct {
+	instanceRequest
+	// TopK > 0 switches to hybrid tuning: evaluate the top-k ranked
+	// candidates with Mode's evaluator and return the evaluated best.
+	TopK int    `json:"topk,omitempty"`
+	Mode string `json:"mode,omitempty"`
+}
+
+type tuneResponse struct {
+	Model            string      `json:"model"`
+	Instance         string      `json:"instance"`
+	Best             vectorJSON  `json:"best"`
+	RankedCandidates int         `json:"ranked_candidates"`
+	RankMicros       int64       `json:"rank_micros"`
+	Hybrid           *hybridJSON `json:"hybrid,omitempty"`
+}
+
+type hybridJSON struct {
+	TopK      int        `json:"topk"`
+	Mode      string     `json:"mode"`
+	Best      vectorJSON `json:"best"`
+	BestValue float64    `json:"best_value_seconds"`
+}
+
+func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
+	var req tuneRequest
+	if err := decode(r, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	lm, err := s.reg.resolve(req.Model)
+	if err != nil {
+		s.fail(w, http.StatusNotFound, err)
+		return
+	}
+	q, err := req.instance()
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.TopK < 0 {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("topk must be >= 0"))
+		return
+	}
+	mode, err := normalizeMode(req.Mode, "sim", "measure")
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	key := fmt.Sprintf("tune|%s|%s|%s|%d|%s",
+		lm.info.Name, kernelFingerprint(q.Kernel), q.Size, req.TopK, mode)
+	s.serveCached(w, r, key, func(ctx context.Context) (any, error) {
+		cands := tunespace.NewSpace(q.Kernel.Dims()).Predefined()
+		start := time.Now()
+		best, err := lm.tuner.Best(q, cands)
+		if err != nil {
+			return nil, err
+		}
+		resp := &tuneResponse{
+			Model:            lm.info.Name,
+			Instance:         q.ID(),
+			Best:             fromVector(best),
+			RankedCandidates: len(cands),
+			RankMicros:       time.Since(start).Microseconds(),
+		}
+		if req.TopK > 0 {
+			eval, err := s.evaluatorFor(ctx, lm, mode)
+			if err != nil {
+				return nil, err
+			}
+			hres, err := lm.tuner.HybridTopK(q, cands, req.TopK, core.BatchObjectiveFor(eval, q))
+			if err != nil {
+				return nil, err
+			}
+			// A cancelled fan-out reports +Inf sentinels; never serve or
+			// cache such a poisoned result.
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			resp.Hybrid = &hybridJSON{
+				TopK:      hres.Evaluations,
+				Mode:      mode,
+				Best:      fromVector(hres.Best),
+				BestValue: hres.BestValue,
+			}
+		}
+		return resp, nil
+	})
+}
+
+// normalizeMode canonicalizes a request's evaluation mode before it enters
+// a cache key: empty means the first (default) allowed value, anything not
+// allowed is rejected up front.
+func normalizeMode(mode string, allowed ...string) (string, error) {
+	if mode == "" {
+		return allowed[0], nil
+	}
+	for _, a := range allowed {
+		if mode == a {
+			return mode, nil
+		}
+	}
+	return "", fmt.Errorf("unknown mode %q (want one of %v)", mode, allowed)
+}
+
+type rankRequest struct {
+	instanceRequest
+	// Candidates to rank; empty ranks the predefined set for the kernel's
+	// dimensionality.
+	Candidates []vectorJSON `json:"candidates,omitempty"`
+	// ReturnScores includes the model score of every candidate.
+	ReturnScores bool `json:"return_scores,omitempty"`
+}
+
+type rankResponse struct {
+	Model      string     `json:"model"`
+	Instance   string     `json:"instance"`
+	Candidates int        `json:"candidates"`
+	Order      []int      `json:"order"`
+	Best       vectorJSON `json:"best"`
+	Scores     []float64  `json:"scores,omitempty"`
+}
+
+func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
+	var req rankRequest
+	if err := decode(r, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	lm, err := s.reg.resolve(req.Model)
+	if err != nil {
+		s.fail(w, http.StatusNotFound, err)
+		return
+	}
+	q, err := req.instance()
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	cands := make([]tunespace.Vector, len(req.Candidates))
+	for i, v := range req.Candidates {
+		cands[i] = v.toVector(q.Kernel.Dims())
+	}
+	if len(cands) == 0 {
+		cands = tunespace.NewSpace(q.Kernel.Dims()).Predefined()
+	}
+	key := fmt.Sprintf("rank|%s|%s|%s|%s|%t",
+		lm.info.Name, kernelFingerprint(q.Kernel), q.Size, vectorSetHash(cands), req.ReturnScores)
+	s.serveCached(w, r, key, func(context.Context) (any, error) {
+		var order []int
+		var scores []float64
+		var err error
+		if req.ReturnScores {
+			order, scores, err = lm.tuner.RankScored(q, cands)
+		} else {
+			order, err = lm.tuner.Rank(q, cands)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return &rankResponse{
+			Model:      lm.info.Name,
+			Instance:   q.ID(),
+			Candidates: len(cands),
+			Order:      order,
+			Best:       fromVector(cands[order[0]]),
+			Scores:     scores,
+		}, nil
+	})
+}
+
+type predictRequest struct {
+	instanceRequest
+	Vectors []vectorJSON `json:"vectors"`
+	// Mode selects the predicted quantity: "sim" (default) simulated
+	// runtime seconds, "measure" wall-clock seconds, "score" raw model
+	// ranking scores (higher ranks better).
+	Mode string `json:"mode,omitempty"`
+}
+
+type predictResponse struct {
+	Model    string    `json:"model"`
+	Instance string    `json:"instance"`
+	Mode     string    `json:"mode"`
+	Unit     string    `json:"unit"`
+	Values   []float64 `json:"values"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req predictRequest
+	if err := decode(r, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	lm, err := s.reg.resolve(req.Model)
+	if err != nil {
+		s.fail(w, http.StatusNotFound, err)
+		return
+	}
+	q, err := req.instance()
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Vectors) == 0 {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("missing vectors"))
+		return
+	}
+	vs := make([]tunespace.Vector, len(req.Vectors))
+	for i, v := range req.Vectors {
+		vs[i] = v.toVector(q.Kernel.Dims())
+		if err := vs[i].Validate(q.Kernel.Dims()); err != nil {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("vector %d: %v", i, err))
+			return
+		}
+	}
+	mode, err := normalizeMode(req.Mode, "sim", "measure", "score")
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	key := fmt.Sprintf("predict|%s|%s|%s|%s|%s",
+		lm.info.Name, kernelFingerprint(q.Kernel), q.Size, vectorSetHash(vs), mode)
+	s.serveCached(w, r, key, func(ctx context.Context) (any, error) {
+		resp := &predictResponse{Model: lm.info.Name, Instance: q.ID(), Mode: mode, Unit: "seconds"}
+		if mode == "score" {
+			resp.Unit = "score"
+			var err error
+			if resp.Values, err = lm.tuner.Scores(q, vs); err != nil {
+				return nil, err
+			}
+			return resp, nil
+		}
+		eval, err := s.evaluatorFor(ctx, lm, mode)
+		if err != nil {
+			return nil, err
+		}
+		resp.Values = eval.RuntimeBatch(q, vs)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return resp, nil
+	})
+}
+
+// modelInfo is the /v1/models row: provenance without the bulky per-weight
+// feature-name list.
+type modelInfo struct {
+	Name               string  `json:"name"`
+	ContentHash        string  `json:"content_hash"`
+	FeatureDim         int     `json:"feature_dim"`
+	TrainingPoints     int     `json:"training_points,omitempty"`
+	Seed               int64   `json:"seed,omitempty"`
+	Mode               string  `json:"mode,omitempty"`
+	C                  float64 `json:"c,omitempty"`
+	Pairs              int     `json:"pairs,omitempty"`
+	DatasetFingerprint string  `json:"dataset_fingerprint,omitempty"`
+	Machine            string  `json:"machine,omitempty"`
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Add("requests", 1)
+	out := struct {
+		Default string      `json:"default"`
+		Models  []modelInfo `json:"models"`
+	}{Default: s.reg.defaultName}
+	names := append([]string(nil), s.reg.names...)
+	sort.Strings(names)
+	for _, name := range names {
+		lm := s.reg.models[name]
+		mi := modelInfo{
+			Name:               name,
+			ContentHash:        lm.info.ContentHash,
+			FeatureDim:         lm.info.Meta.FeatureDim,
+			TrainingPoints:     lm.info.Meta.TrainingPoints,
+			Seed:               lm.info.Meta.Seed,
+			Mode:               lm.info.Meta.Mode,
+			C:                  lm.info.Meta.C,
+			Pairs:              lm.info.Meta.Pairs,
+			DatasetFingerprint: lm.info.Meta.DatasetFingerprint,
+		}
+		if lm.art.Machine != nil {
+			mi.Machine = lm.art.Machine.Name
+		}
+		out.Models = append(out.Models, mi)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":         "ok",
+		"version":        s.build.Version,
+		"commit":         s.build.Commit,
+		"go":             s.build.GoVersion,
+		"models":         len(s.reg.names),
+		"default_model":  s.reg.defaultName,
+		"uptime_seconds": int64(time.Since(s.start).Seconds()),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Set("cache_entries", intVar(int64(s.cache.Len())))
+	s.metrics.Set("flight_waiting", intVar(int64(s.flight.Waiting())))
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"stencilserve\": %s}\n", s.metrics.String())
+}
+
+func intVar(v int64) *expvar.Int {
+	i := new(expvar.Int)
+	i.Set(v)
+	return i
+}

@@ -1,0 +1,75 @@
+package server
+
+import (
+	"context"
+	"sync"
+)
+
+// flightGroup coalesces concurrent calls with the same key into one
+// execution: the first caller runs fn, later callers block and share its
+// result. This is the thundering-herd guard of the tuning server — a burst of
+// identical /v1/tune requests costs one inference, after which the response
+// cache answers. (A from-scratch, trimmed singleflight: no external
+// dependency, plus a waiter counter the coalescing tests synchronize on.)
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+
+	// waiting counts callers currently blocked on another caller's
+	// in-flight execution; read through Waiting by tests and metrics.
+	waiting int
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// Do executes fn once per key at a time: concurrent duplicate callers wait
+// for the executing one and receive its result with shared=true. A waiter
+// whose own ctx dies while parked unblocks immediately with the ctx error
+// (the leader keeps computing for everyone else). Once a call completes, the
+// key is forgotten — subsequent calls execute again (the response cache, not
+// the flight group, provides lasting reuse). The leader runs fn regardless
+// of ctx; cancellation of the leader is fn's own business.
+func (g *flightGroup) Do(ctx context.Context, key string, fn func() ([]byte, error)) (val []byte, err error, shared bool) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		g.waiting++
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+		case <-ctx.Done():
+			g.mu.Lock()
+			g.waiting--
+			g.mu.Unlock()
+			return nil, ctx.Err(), true
+		}
+		g.mu.Lock()
+		g.waiting--
+		g.mu.Unlock()
+		return c.val, c.err, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, c.err, false
+}
+
+// Waiting returns how many callers are currently blocked on in-flight calls.
+func (g *flightGroup) Waiting() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.waiting
+}

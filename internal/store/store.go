@@ -1,0 +1,417 @@
+// Package store is the persistent model store of the serving subsystem: it
+// saves trained tuning artifacts — the ranking-SVM weights, the trainer
+// provenance (feature encoding, normalization, training options, dataset
+// fingerprint) and the machine description the simulator evaluated on — to a
+// versioned on-disk format, and loads them back for the HTTP tuning server
+// and the cmd binaries. Train once, serve many.
+//
+// # Format
+//
+// A store is a directory; each artifact is a subdirectory holding small JSON
+// documents plus a manifest:
+//
+//	<store>/<name>/model.json     weights (exact float64 round-trip), C
+//	<store>/<name>/meta.json      trainer provenance (Meta)
+//	<store>/<name>/machine.json   simulator machine description (optional)
+//	<store>/<name>/manifest.json  format version + sha256 of every file
+//
+// The encoding is deterministic: the same artifact always serializes to the
+// same bytes (Go's JSON encoder emits struct fields in declaration order and
+// shortest-round-trip floats, and Save injects no timestamps), so saved
+// artifacts can be content-addressed, diffed and committed as golden test
+// fixtures. Writes land atomically per file (tmp+rename, manifest last; see
+// Save for the exact crash-consistency contract), and Load verifies every
+// content hash before returning, so a torn, mixed or hand-edited artifact
+// fails loudly instead of serving skewed predictions.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/feature"
+	"repro/internal/machine"
+	"repro/internal/svmrank"
+)
+
+// FormatVersion tags the on-disk layout. Bump it when the file set or any
+// document schema changes incompatibly; Load rejects unknown versions.
+const FormatVersion = 1
+
+// File names of an artifact directory.
+const (
+	manifestFile = "manifest.json"
+	modelFile    = "model.json"
+	metaFile     = "meta.json"
+	machineFile  = "machine.json"
+)
+
+// Meta is the trainer provenance persisted with a model: everything needed
+// to audit what a serving model was fitted on, and to refuse loading it into
+// an incompatible build.
+type Meta struct {
+	// FeatureDim is the feature-space dimensionality the weights index;
+	// loading into a build whose encoder disagrees is refused.
+	FeatureDim int `json:"feature_dim"`
+	// FeatureNames labels every weight component (feature.Names order), so
+	// a stored model is self-describing for inspection tooling.
+	FeatureNames []string `json:"feature_names,omitempty"`
+	// Normalization documents the feature scaling the encoder applied.
+	Normalization string `json:"normalization,omitempty"`
+
+	// Training provenance.
+	TrainingPoints int     `json:"training_points,omitempty"`
+	Seed           int64   `json:"seed,omitempty"`
+	Mode           string  `json:"mode,omitempty"` // "sim", "measure" or "custom"
+	Sampling       string  `json:"sampling,omitempty"`
+	C              float64 `json:"c,omitempty"`
+	Epochs         int     `json:"epochs,omitempty"`
+	PairStrategy   string  `json:"pair_strategy,omitempty"`
+	PairWindow     int     `json:"pair_window,omitempty"`
+	Pairs          int     `json:"pairs,omitempty"`
+
+	// DatasetFingerprint is dataset.Set.Fingerprint() of the training set:
+	// two models sharing it were fitted on byte-identical data.
+	DatasetFingerprint string `json:"dataset_fingerprint,omitempty"`
+}
+
+// Artifact is one stored model with its provenance.
+type Artifact struct {
+	// Name is the artifact's directory name within the store; it must be a
+	// single non-hidden path element.
+	Name    string
+	Model   *svmrank.Model
+	Meta    Meta
+	Machine *machine.Machine // nil when the training substrate had none (measure mode)
+}
+
+// manifest is the integrity document written last.
+type manifest struct {
+	FormatVersion int             `json:"format_version"`
+	Name          string          `json:"name"`
+	Files         []manifestEntry `json:"files"`
+}
+
+type manifestEntry struct {
+	Path   string `json:"path"`
+	SHA256 string `json:"sha256"`
+	Bytes  int    `json:"bytes"`
+}
+
+// persistedModel is the model.json schema.
+type persistedModel struct {
+	FeatureDim int       `json:"feature_dim"`
+	W          []float64 `json:"w"`
+	C          float64   `json:"c"`
+}
+
+// Store is a directory of named artifacts.
+type Store struct {
+	dir string
+}
+
+// Open returns a store rooted at dir, creating the directory when missing.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+func validName(name string) error {
+	if name == "" || name == "." || name == ".." ||
+		strings.ContainsAny(name, "/\\") || strings.HasPrefix(name, ".") {
+		return fmt.Errorf("store: invalid artifact name %q", name)
+	}
+	return nil
+}
+
+// encode renders a document deterministically: two-space indentation and a
+// trailing newline, the exact bytes the golden fixtures commit.
+func encode(v any) ([]byte, error) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// writeAtomic lands content at path via tmp+rename so readers never observe
+// a partially written file.
+func writeAtomic(path string, content []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	if _, err := tmp.Write(content); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	// CreateTemp opens 0600; artifacts are world-readable like any build
+	// output.
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+func hashOf(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// Save persists the artifact under its name, overwriting any previous
+// version. Every file lands via tmp+rename (readers never observe a torn
+// file) and the manifest is written last. Saving a *new* artifact is
+// all-or-nothing: without a manifest the directory is not an artifact.
+// Re-saving over an existing artifact is not atomic as a whole — a crash
+// between the first document rename and the manifest rename can leave the
+// old manifest describing new file contents — but the hash verification in
+// Load turns that into a loud, fail-stop load error rather than silently
+// serving a mixed artifact; re-run Save to repair.
+func (s *Store) Save(a *Artifact) error {
+	if err := validName(a.Name); err != nil {
+		return err
+	}
+	if a.Model == nil || len(a.Model.W) == 0 {
+		return fmt.Errorf("store: artifact %q has no model weights", a.Name)
+	}
+	meta := a.Meta
+	if meta.FeatureDim == 0 {
+		meta.FeatureDim = len(a.Model.W)
+	}
+	if meta.FeatureDim != len(a.Model.W) {
+		return fmt.Errorf("store: artifact %q: meta feature dim %d, model has %d weights",
+			a.Name, meta.FeatureDim, len(a.Model.W))
+	}
+
+	docs := []struct {
+		path string
+		v    any
+	}{
+		{modelFile, persistedModel{FeatureDim: len(a.Model.W), W: a.Model.W, C: a.Model.C}},
+		{metaFile, meta},
+	}
+	if a.Machine != nil {
+		docs = append(docs, struct {
+			path string
+			v    any
+		}{machineFile, a.Machine})
+	}
+
+	dir := filepath.Join(s.dir, a.Name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	m := manifest{FormatVersion: FormatVersion, Name: a.Name}
+	for _, d := range docs {
+		b, err := encode(d.v)
+		if err != nil {
+			return fmt.Errorf("store: encoding %s: %w", d.path, err)
+		}
+		if err := writeAtomic(filepath.Join(dir, d.path), b); err != nil {
+			return fmt.Errorf("store: writing %s: %w", d.path, err)
+		}
+		m.Files = append(m.Files, manifestEntry{Path: d.path, SHA256: hashOf(b), Bytes: len(b)})
+	}
+	sort.Slice(m.Files, func(i, j int) bool { return m.Files[i].Path < m.Files[j].Path })
+	mb, err := encode(m)
+	if err != nil {
+		return fmt.Errorf("store: encoding manifest: %w", err)
+	}
+	if err := writeAtomic(filepath.Join(dir, manifestFile), mb); err != nil {
+		return fmt.Errorf("store: writing manifest: %w", err)
+	}
+	// A previous save may have written machine.json this one doesn't carry;
+	// remove it only after the new manifest landed, so a crash anywhere
+	// above leaves the old manifest with every file it references intact.
+	if a.Machine == nil {
+		os.Remove(filepath.Join(dir, machineFile))
+	}
+	return nil
+}
+
+// Load reads, hash-verifies and decodes the named artifact.
+func (s *Store) Load(name string) (*Artifact, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	return LoadDir(filepath.Join(s.dir, name))
+}
+
+// LoadDir loads an artifact directly from its directory (one containing
+// manifest.json). The artifact's name is taken from the manifest.
+func LoadDir(dir string) (*Artifact, error) {
+	mb, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(mb, &m); err != nil {
+		return nil, fmt.Errorf("store: decoding manifest in %s: %w", dir, err)
+	}
+	if m.FormatVersion != FormatVersion {
+		return nil, fmt.Errorf("store: artifact %s has format version %d, this build reads %d",
+			dir, m.FormatVersion, FormatVersion)
+	}
+	files := make(map[string][]byte, len(m.Files))
+	for _, f := range m.Files {
+		if filepath.Base(f.Path) != f.Path {
+			return nil, fmt.Errorf("store: manifest in %s references non-local path %q", dir, f.Path)
+		}
+		b, err := os.ReadFile(filepath.Join(dir, f.Path))
+		if err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		if got := hashOf(b); got != f.SHA256 {
+			return nil, fmt.Errorf("store: %s/%s content hash %s does not match manifest %s (corrupt or hand-edited artifact)",
+				dir, f.Path, got[:12], f.SHA256[:min(12, len(f.SHA256))])
+		}
+		files[f.Path] = b
+	}
+
+	pmb, ok := files[modelFile]
+	if !ok {
+		return nil, fmt.Errorf("store: artifact %s has no %s", dir, modelFile)
+	}
+	var pm persistedModel
+	if err := json.Unmarshal(pmb, &pm); err != nil {
+		return nil, fmt.Errorf("store: decoding %s: %w", modelFile, err)
+	}
+	if len(pm.W) != pm.FeatureDim {
+		return nil, fmt.Errorf("store: artifact %s: %d weights, declared dim %d", dir, len(pm.W), pm.FeatureDim)
+	}
+	if pm.FeatureDim != feature.Dim {
+		return nil, fmt.Errorf("store: artifact %s was trained with feature dim %d, this build encodes %d",
+			dir, pm.FeatureDim, feature.Dim)
+	}
+	a := &Artifact{
+		Name:  m.Name,
+		Model: &svmrank.Model{W: pm.W, C: pm.C},
+	}
+	if b, ok := files[metaFile]; ok {
+		if err := json.Unmarshal(b, &a.Meta); err != nil {
+			return nil, fmt.Errorf("store: decoding %s: %w", metaFile, err)
+		}
+	}
+	if b, ok := files[machineFile]; ok {
+		a.Machine = &machine.Machine{}
+		if err := json.Unmarshal(b, a.Machine); err != nil {
+			return nil, fmt.Errorf("store: decoding %s: %w", machineFile, err)
+		}
+		if err := a.Machine.Validate(); err != nil {
+			return nil, fmt.Errorf("store: artifact %s: %w", dir, err)
+		}
+	}
+	return a, nil
+}
+
+// Info summarizes one stored artifact for listings.
+type Info struct {
+	Name string `json:"name"`
+	Meta Meta   `json:"meta"`
+	// ContentHash identifies the artifact's exact content: the hash of its
+	// manifest, which in turn hashes every file.
+	ContentHash string `json:"content_hash"`
+}
+
+// List returns the artifacts in the store, sorted by name. Subdirectories
+// without a manifest are skipped (not errors), so a store can live alongside
+// unrelated files. Listing reads only the manifest and the (hash-verified)
+// meta document — not the weights — so it stays cheap for large stores; a
+// subsequent Load performs the full verification.
+func (s *Store) List() ([]Info, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var out []Info
+	for _, e := range entries {
+		if !e.IsDir() || validName(e.Name()) != nil {
+			continue
+		}
+		dir := filepath.Join(s.dir, e.Name())
+		mb, err := os.ReadFile(filepath.Join(dir, manifestFile))
+		if err != nil {
+			continue // not an artifact
+		}
+		var m manifest
+		if err := json.Unmarshal(mb, &m); err != nil {
+			return nil, fmt.Errorf("store: decoding manifest of %q: %w", e.Name(), err)
+		}
+		if m.FormatVersion != FormatVersion {
+			return nil, fmt.Errorf("store: artifact %q has format version %d, this build reads %d",
+				e.Name(), m.FormatVersion, FormatVersion)
+		}
+		info := Info{Name: e.Name(), ContentHash: hashOf(mb)}
+		for _, f := range m.Files {
+			if f.Path != metaFile {
+				continue
+			}
+			b, err := os.ReadFile(filepath.Join(dir, metaFile))
+			if err != nil {
+				return nil, fmt.Errorf("store: artifact %q: %w", e.Name(), err)
+			}
+			if got := hashOf(b); got != f.SHA256 {
+				return nil, fmt.Errorf("store: %s/%s content hash does not match manifest (corrupt artifact)", e.Name(), metaFile)
+			}
+			if err := json.Unmarshal(b, &info.Meta); err != nil {
+				return nil, fmt.Errorf("store: artifact %q: decoding %s: %w", e.Name(), metaFile, err)
+			}
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// LoadPath loads an artifact from either an artifact directory (one holding
+// a manifest.json) or a store root, where it picks the artifact named
+// "default" or, failing that, the store's only artifact.
+func LoadPath(path string) (*Artifact, error) {
+	if _, err := os.Stat(filepath.Join(path, manifestFile)); err == nil {
+		return LoadDir(path)
+	}
+	st, err := Open(path)
+	if err != nil {
+		return nil, err
+	}
+	infos, err := st.List()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case len(infos) == 0:
+		return nil, fmt.Errorf("store: no artifacts in %s", path)
+	case len(infos) == 1:
+		return st.Load(infos[0].Name)
+	}
+	for _, in := range infos {
+		if in.Name == "default" {
+			return st.Load("default")
+		}
+	}
+	names := make([]string, len(infos))
+	for i, in := range infos {
+		names[i] = in.Name
+	}
+	return nil, fmt.Errorf("store: %s holds %d artifacts (%s) and none is named \"default\"; pass the artifact directory",
+		path, len(infos), strings.Join(names, ", "))
+}

@@ -287,13 +287,21 @@ func (m *Model) ScoreBatch(xs []feature.Vector) []float64 {
 // Rank returns the indices of xs ordered best-first (descending score).
 // Deterministic: equal scores keep input order.
 func (m *Model) Rank(xs []feature.Vector) []int {
+	order, _ := m.RankWithScores(xs)
+	return order
+}
+
+// RankWithScores is Rank returning also the score of every input vector
+// (index-aligned with xs, not with the permutation), so consumers that need
+// both — the serving API's scored rankings — pay one ScoreBatch pass.
+func (m *Model) RankWithScores(xs []feature.Vector) ([]int, []float64) {
 	scores := m.ScoreBatch(xs)
 	idx := make([]int, len(xs))
 	for i := range idx {
 		idx[i] = i
 	}
 	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
-	return idx
+	return idx, scores
 }
 
 // ArgBestBatch returns the index of the highest-scoring vector without

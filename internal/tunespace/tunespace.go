@@ -7,6 +7,7 @@
 package tunespace
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/rand"
 )
@@ -33,6 +34,17 @@ type Vector struct {
 
 func (v Vector) String() string {
 	return fmt.Sprintf("(bx=%d,by=%d,bz=%d,u=%d,c=%d)", v.Bx, v.By, v.Bz, v.U, v.C)
+}
+
+// AppendFields appends the vector's components to dst as canonical
+// little-endian int64s. It is the single definition of a tuning vector's
+// hashable identity — dataset fingerprints and serving cache keys both build
+// on it, so a future field extends every fingerprint in one place.
+func (v Vector) AppendFields(dst []byte) []byte {
+	for _, f := range [...]int{v.Bx, v.By, v.Bz, v.U, v.C} {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(int64(f)))
+	}
+	return dst
 }
 
 // Validate checks the vector against the parameter ranges for a stencil of

@@ -36,17 +36,21 @@
 package stenciltune
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"os"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/exec"
+	"repro/internal/feature"
 	"repro/internal/machine"
 	"repro/internal/perfmodel"
 	"repro/internal/search"
 	"repro/internal/stencil"
+	"repro/internal/store"
 	"repro/internal/svmrank"
 	"repro/internal/trainer"
 	"repro/internal/tunespace"
@@ -230,9 +234,13 @@ type TrainReport struct {
 	SimulatedExecTime    time.Duration
 }
 
-// Model is a trained ordinal-regression ranking model.
+// Model is a trained ordinal-regression ranking model, together with the
+// training provenance the persistent store records (feature encoding,
+// training options, dataset fingerprint, simulated machine).
 type Model struct {
 	inner *svmrank.Model
+	meta  store.Meta
+	mach  *machine.Machine
 }
 
 // Train builds a training set per Section V-B of the paper (60 generated
@@ -269,14 +277,66 @@ func Train(opt TrainOptions) (*Model, TrainReport, error) {
 		SimulatedCompileTime: res.Set.SimulatedCompileTime,
 		SimulatedExecTime:    res.Set.SimulatedExecTime,
 	}
-	return &Model{inner: res.Model}, report, nil
+	modeStr := "sim"
+	var mach *machine.Machine
+	switch {
+	case opt.Evaluator != nil:
+		modeStr = "custom"
+	case opt.Mode == Measure:
+		modeStr = "measure"
+	default:
+		mach = machine.XeonE52680v3()
+	}
+	meta := store.Meta{
+		FeatureDim:         feature.Dim,
+		FeatureNames:       feature.Names(),
+		Normalization:      "real-valued components normalized to [0,1] (Sec. III-A); sizes and blocking log2-scaled over their parameter ranges",
+		TrainingPoints:     res.Set.Len(),
+		Seed:               opt.Seed,
+		Mode:               modeStr,
+		Sampling:           cfg.Dataset.Sampling.String(),
+		C:                  cfg.SVM.C,
+		Epochs:             cfg.SVM.Epochs,
+		PairStrategy:       cfg.SVM.Pairs.Strategy.String(),
+		PairWindow:         cfg.SVM.Pairs.Window,
+		Pairs:              res.SVMStats.Pairs,
+		DatasetFingerprint: res.Set.Fingerprint(),
+	}
+	return &Model{inner: res.Model, meta: meta, mach: mach}, report, nil
 }
 
-// Save persists the model to a file.
+// Save persists the bare model weights to a single gob file (the legacy
+// format). Prefer SaveModel, which writes the versioned store format with
+// full training provenance — the format the serving subsystem loads.
 func (m *Model) Save(path string) error { return m.inner.SaveFile(path) }
 
-// LoadModel reads a model persisted by Save.
+// SaveModel persists the model into the store directory dir under the given
+// artifact name ("default" when empty): a content-hashed, atomically written
+// set of JSON documents holding the weights, the trainer provenance and the
+// simulated machine description. The resulting directory is what
+// stencil-serve serves and what LoadModel / stencil-tune -model load back.
+func SaveModel(dir, name string, m *Model) error {
+	if name == "" {
+		name = "default"
+	}
+	st, err := store.Open(dir)
+	if err != nil {
+		return err
+	}
+	return st.Save(&store.Artifact{Name: name, Model: m.inner, Meta: m.meta, Machine: m.mach})
+}
+
+// LoadModel reads a persisted model from either a store directory written by
+// SaveModel (an artifact directory, or a store root holding a "default" or
+// single artifact) or a legacy gob file written by Model.Save.
 func LoadModel(path string) (*Model, error) {
+	if isDir(path) {
+		a, err := store.LoadPath(path)
+		if err != nil {
+			return nil, err
+		}
+		return &Model{inner: a.Model, meta: a.Meta, mach: a.Machine}, nil
+	}
 	inner, err := svmrank.LoadFile(path)
 	if err != nil {
 		return nil, err
@@ -370,6 +430,18 @@ func RunSearch(engine SearchEngine, q Instance, eval Evaluator, budget int, seed
 // evaluators serialize internally, so they gain timing fidelity but no
 // overlap.
 func RunSearchBatched(engine SearchEngine, q Instance, eval Evaluator, budget int, seed int64, workers int) (SearchResult, error) {
+	return RunSearchBatchedContext(context.Background(), engine, q, eval, budget, seed, workers)
+}
+
+// RunSearchBatchedContext is RunSearchBatched with cooperative cancellation:
+// when ctx is cancelled mid-search the evaluation fan-out stops doing work
+// (remaining evaluations report +Inf and return immediately), so a serving
+// request timeout bounds the search's cost. The engine still winds down its
+// remaining budget over the now-free objective, and the returned result is
+// only meaningful when ctx.Err() == nil — callers that time out should
+// discard it. With context.Background() the result is bit-identical to
+// RunSearchBatched.
+func RunSearchBatchedContext(ctx context.Context, engine SearchEngine, q Instance, eval Evaluator, budget int, seed int64, workers int) (SearchResult, error) {
 	if err := validateSearch(q, budget); err != nil {
 		return SearchResult{}, err
 	}
@@ -377,7 +449,7 @@ func RunSearchBatched(engine SearchEngine, q Instance, eval Evaluator, budget in
 		eval = Simulator()
 	}
 	space := tunespace.NewSpace(q.Kernel.Dims())
-	obj := core.BatchObjectiveFor(dataset.Batched(eval, workers), q)
+	obj := core.BatchObjectiveFor(dataset.BatchedContext(ctx, eval, workers), q)
 	return engine.SearchBatch(space, obj, budget, seed), nil
 }
 
@@ -389,4 +461,10 @@ func validateSearch(q Instance, budget int) error {
 		return fmt.Errorf("stenciltune: budget %d must be positive", budget)
 	}
 	return nil
+}
+
+// isDir reports whether path names an existing directory.
+func isDir(path string) bool {
+	fi, err := os.Stat(path)
+	return err == nil && fi.IsDir()
 }
