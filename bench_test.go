@@ -207,18 +207,18 @@ func BenchmarkRealExecutor(b *testing.B) {
 	}
 }
 
-// execBenchWorkspace allocates an output grid and filled input buffers for
-// the executor benchmarks (nz = 1 for planar kernels).
-func execBenchWorkspace(k *exec.LinearKernel, n, nz int) (*grid.Grid, []*grid.Grid) {
+// execBenchWorkspace allocates an output grid and filled input buffers of
+// element type T for the executor benchmarks (nz = 1 for planar kernels).
+func execBenchWorkspace[T grid.Float](k *exec.LinearKernel, n, nz int) (*grid.Grid[T], []*grid.Grid[T]) {
 	halo := k.MaxOffset()
 	haloZ := halo
 	if nz == 1 {
 		haloZ = 0
 	}
-	out := grid.New(n, n, nz, halo, haloZ)
-	var ins []*grid.Grid
+	out := grid.NewOf[T](n, n, nz, halo, haloZ)
+	var ins []*grid.Grid[T]
 	for b := 0; b < k.Buffers; b++ {
-		g := grid.New(n, n, nz, halo, haloZ)
+		g := grid.NewOf[T](n, n, nz, halo, haloZ)
 		g.FillPattern()
 		ins = append(ins, g)
 	}
@@ -240,55 +240,97 @@ func asym2DExec() *exec.LinearKernel {
 	}}
 }
 
-// execBenchCase is one (kernel, geometry) point of the executor benchmarks.
+// execBenchCase is one (kernel, geometry, precision) point of the executor
+// benchmarks.
 type execBenchCase struct {
 	name string
 	k    *exec.LinearKernel
 	n    int // grid extent per dimension
 	nz   int // 1 for 2-D kernels
 	tv   tunespace.Vector
+	f32  bool // execute through the float32 engine
 }
 
 // execBenchCases covers the small grids where fixed per-call overhead
 // dominates (the regime that pollutes Measure-mode training signals), a
 // medium grid where compute dominates, and — via asym2d and gradient — the
 // generic term-plan path that kernels without a structural fast path take.
-// Run with -benchmem: the compiled path must report 0 allocs/op in steady
-// state.
+// The "-f32" variants run the identical kernel+geometry through the float32
+// engine; on the bandwidth-bound cases the halved element size should show
+// up as throughput (CI renders the f32-vs-f64 delta). Run with -benchmem:
+// the compiled path must report 0 allocs/op in steady state for both types.
 func execBenchCases() []execBenchCase {
 	tv3 := tunespace.Vector{Bx: 32, By: 16, Bz: 8, U: 4, C: 2}
 	tv2 := tunespace.Vector{Bx: 64, By: 16, Bz: 1, U: 4, C: 2}
 	var cases []execBenchCase
 	for _, n := range []int{8, 16, 64} {
-		cases = append(cases, execBenchCase{fmt.Sprintf("n=%d", n), exec.LaplacianExec(), n, n, tv3})
+		cases = append(cases, execBenchCase{fmt.Sprintf("n=%d", n), exec.LaplacianExec(), n, n, tv3, false})
 	}
 	for _, n := range []int{64, 512} {
-		cases = append(cases, execBenchCase{fmt.Sprintf("asym2d-n=%d", n), asym2DExec(), n, 1, tv2})
+		cases = append(cases, execBenchCase{fmt.Sprintf("asym2d-n=%d", n), asym2DExec(), n, 1, tv2, false})
 	}
-	cases = append(cases, execBenchCase{"gradient-n=64", exec.GradientExec(), 64, 64, tv3})
+	cases = append(cases, execBenchCase{"gradient-n=64", exec.GradientExec(), 64, 64, tv3, false})
+	// DRAM-resident laplacian (192³ ≈ 113 MB of float64 across the two
+	// grids): the canonical bandwidth-bound case where halving the element
+	// size must show up as throughput.
+	cases = append(cases, execBenchCase{"n=192", exec.LaplacianExec(), 192, 192, tv3, false})
+	// Single-precision variants of the bandwidth-bound cases.
+	cases = append(cases,
+		execBenchCase{"n=64-f32", exec.LaplacianExec(), 64, 64, tv3, true},
+		execBenchCase{"n=192-f32", exec.LaplacianExec(), 192, 192, tv3, true},
+		execBenchCase{"asym2d-n=512-f32", asym2DExec(), 512, 1, tv2, true},
+		execBenchCase{"gradient-n=64-f32", exec.GradientExec(), 64, 64, tv3, true},
+	)
 	return cases
 }
 
+// benchRunCompiled is the BenchmarkRunCompiled body for one element type.
+func benchRunCompiled[T grid.Float](b *testing.B, tc execBenchCase) {
+	r := exec.NewRunnerOf[T]()
+	defer r.Close()
+	out, ins := execBenchWorkspace[T](tc.k, tc.n, tc.nz)
+	if err := r.Run(tc.k, out, ins, tc.tv); err != nil { // compile + warm pool
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(tc.n * tc.n * tc.nz * out.ElemBytes()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.Run(tc.k, out, ins, tc.tv); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkRunCompiled measures steady-state execution through the cached
-// compiled program and the persistent worker pool.
+// compiled program and the persistent worker pool, in both precisions.
 func BenchmarkRunCompiled(b *testing.B) {
 	for _, tc := range execBenchCases() {
 		b.Run(tc.name, func(b *testing.B) {
-			r := exec.NewRunner()
-			defer r.Close()
-			out, ins := execBenchWorkspace(tc.k, tc.n, tc.nz)
-			if err := r.Run(tc.k, out, ins, tc.tv); err != nil { // compile + warm pool
-				b.Fatal(err)
-			}
-			b.SetBytes(int64(tc.n * tc.n * tc.nz * 8))
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if err := r.Run(tc.k, out, ins, tc.tv); err != nil {
-					b.Fatal(err)
-				}
+			if tc.f32 {
+				benchRunCompiled[float32](b, tc)
+			} else {
+				benchRunCompiled[float64](b, tc)
 			}
 		})
+	}
+}
+
+// benchRunLegacy is the BenchmarkRunLegacyPath body for one element type.
+func benchRunLegacy[T grid.Float](b *testing.B, tc execBenchCase) {
+	r := exec.NewRunnerOf[T]()
+	defer r.Close()
+	out, ins := execBenchWorkspace[T](tc.k, tc.n, tc.nz)
+	if err := r.RunLegacy(tc.k, out, ins, tc.tv); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(tc.n * tc.n * tc.nz * out.ElemBytes()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.RunLegacy(tc.k, out, ins, tc.tv); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -297,19 +339,10 @@ func BenchmarkRunCompiled(b *testing.B) {
 func BenchmarkRunLegacyPath(b *testing.B) {
 	for _, tc := range execBenchCases() {
 		b.Run(tc.name, func(b *testing.B) {
-			r := exec.NewRunner()
-			defer r.Close()
-			out, ins := execBenchWorkspace(tc.k, tc.n, tc.nz)
-			if err := r.RunLegacy(tc.k, out, ins, tc.tv); err != nil {
-				b.Fatal(err)
-			}
-			b.SetBytes(int64(tc.n * tc.n * tc.nz * 8))
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if err := r.RunLegacy(tc.k, out, ins, tc.tv); err != nil {
-					b.Fatal(err)
-				}
+			if tc.f32 {
+				benchRunLegacy[float32](b, tc)
+			} else {
+				benchRunLegacy[float64](b, tc)
 			}
 		})
 	}

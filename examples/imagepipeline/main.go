@@ -70,12 +70,12 @@ func main() {
 
 	pipeline := func(bt, et stenciltune.TuningVector) time.Duration {
 		start := time.Now()
-		if err := runner.Run(blurK, blurred, []*grid.Grid{img}, bt); err != nil {
+		if err := runner.Run(blurK, blurred, []*grid.Grid[float64]{img}, bt); err != nil {
 			log.Fatal(err)
 		}
 		// The blur output needs its halo refreshed before edge reads it;
 		// for this demo the interior suffices since edge only reaches 1.
-		if err := runner.Run(edgeK, edges, []*grid.Grid{blurred}, et); err != nil {
+		if err := runner.Run(edgeK, edges, []*grid.Grid[float64]{blurred}, et); err != nil {
 			log.Fatal(err)
 		}
 		return time.Since(start)

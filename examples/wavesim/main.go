@@ -63,7 +63,7 @@ func main() {
 	runner := exec.NewRunner()
 	start := time.Now()
 	for s := 0; s < steps; s++ {
-		if err := runner.Run(k, next, []*grid.Grid{curr, prev}, tv); err != nil {
+		if err := runner.Run(k, next, []*grid.Grid[float64]{curr, prev}, tv); err != nil {
 			log.Fatal(err)
 		}
 		prev, curr, next = curr, next, prev

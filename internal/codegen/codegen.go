@@ -20,21 +20,23 @@ import (
 )
 
 // Variant is a compiled stencil code variant: a kernel bound to a tuning
-// vector, runnable on concrete grids.
+// vector, runnable on concrete grids. Variants execute in double precision
+// (the substrate the compile-cost model was calibrated on); precision-true
+// float32 execution goes through exec.Runner[float32] or exec.Measurer.
 type Variant struct {
 	Kernel *exec.LinearKernel
 	Tuning tunespace.Vector
-	runner *exec.Runner
+	runner *exec.Runner[float64]
 }
 
 // Run executes the variant over the given output and input grids.
-func (v *Variant) Run(out *grid.Grid, ins []*grid.Grid) error {
+func (v *Variant) Run(out *grid.Grid[float64], ins []*grid.Grid[float64]) error {
 	return v.runner.Run(v.Kernel, out, ins, v.Tuning)
 }
 
 // Compiler builds variants and accounts compile cost.
 type Compiler struct {
-	runner *exec.Runner
+	runner *exec.Runner[float64]
 	// accounted accumulates the simulated double-compilation cost.
 	accounted time.Duration
 	compiled  int

@@ -20,7 +20,7 @@ func TestCompileAndRun(t *testing.T) {
 	out := grid.New(32, 32, 32, halo, halo)
 	in := grid.New(32, 32, 32, halo, halo)
 	in.FillPattern()
-	if err := v.Run(out, []*grid.Grid{in}); err != nil {
+	if err := v.Run(out, []*grid.Grid[float64]{in}); err != nil {
 		t.Fatal(err)
 	}
 	if out.InteriorSum() == 0 {

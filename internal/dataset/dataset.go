@@ -8,7 +8,10 @@
 //
 // Each execution is evaluated through an Evaluator (the perfmodel simulator
 // or the real exec.Measurer), ranked within its instance, encoded into a
-// feature vector and stored in an svmrank.Dataset.
+// feature vector and stored in an svmrank.Dataset. Measure-mode evaluation
+// is precision-true: the float32 half of the training kernels is executed on
+// float32 workspaces, so the dtype feature corresponds to genuinely
+// different measured costs, exactly as on the paper's testbed.
 package dataset
 
 import (

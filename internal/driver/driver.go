@@ -39,24 +39,32 @@ func (b Boundary) String() string {
 	}
 }
 
-// Simulation is a time-stepping loop around one stencil kernel. The kernel's
-// Buffers input grids are interpreted as consecutive time levels: buffer 0
-// is u(t), buffer 1 is u(t-1), and so on. Each step writes u(t+1) and
-// rotates the ring.
-type Simulation struct {
+// Simulation is a time-stepping loop around one stencil kernel, generic
+// over the element type so single-precision applications integrate in
+// genuine float32. The kernel's Buffers input grids are interpreted as
+// consecutive time levels: buffer 0 is u(t), buffer 1 is u(t-1), and so on.
+// Each step writes u(t+1) and rotates the ring.
+type Simulation[T grid.Float] struct {
 	Kernel   *exec.LinearKernel
 	Tuning   tunespace.Vector
 	Boundary Boundary
 
-	runner *exec.Runner
+	runner *exec.Runner[T]
 	// ring[0] is the newest level u(t); ring[len-1] is the write target.
-	ring []*grid.Grid
+	ring []*grid.Grid[T]
 	step int
 }
 
-// New builds a simulation over an nx×ny×nz domain (nz = 1 for 2-D). The
-// tuning vector must be valid for the domain's dimensionality.
-func New(k *exec.LinearKernel, nx, ny, nz int, tv tunespace.Vector, b Boundary) (*Simulation, error) {
+// New builds a double-precision simulation over an nx×ny×nz domain (nz = 1
+// for 2-D); it is the float64 shim of NewOf. The tuning vector must be valid
+// for the domain's dimensionality.
+func New(k *exec.LinearKernel, nx, ny, nz int, tv tunespace.Vector, b Boundary) (*Simulation[float64], error) {
+	return NewOf[float64](k, nx, ny, nz, tv, b)
+}
+
+// NewOf builds a simulation whose time levels, kernel execution and halo
+// refreshes all use element type T.
+func NewOf[T grid.Float](k *exec.LinearKernel, nx, ny, nz int, tv tunespace.Vector, b Boundary) (*Simulation[T], error) {
 	if err := k.Validate(); err != nil {
 		return nil, err
 	}
@@ -73,24 +81,24 @@ func New(k *exec.LinearKernel, nx, ny, nz int, tv tunespace.Vector, b Boundary) 
 	if nz == 1 {
 		haloZ = 0
 	}
-	s := &Simulation{
+	s := &Simulation[T]{
 		Kernel:   k,
 		Tuning:   tv,
 		Boundary: b,
-		runner:   exec.NewRunner(),
+		runner:   exec.NewRunnerOf[T](),
 	}
 	// k.Buffers time levels plus one write target. The ring comes from the
 	// grid pool (Acquire returns zeroed grids, matching New); Release hands
 	// it back when the simulation is discarded.
 	for i := 0; i <= k.Buffers; i++ {
-		s.ring = append(s.ring, grid.Acquire(nx, ny, nz, halo, haloZ))
+		s.ring = append(s.ring, grid.AcquireOf[T](nx, ny, nz, halo, haloZ))
 	}
 	return s, nil
 }
 
 // Level returns the grid holding time level t-i (0 = newest). The returned
 // grid may be written to set initial conditions.
-func (s *Simulation) Level(i int) *grid.Grid {
+func (s *Simulation[T]) Level(i int) *grid.Grid[T] {
 	if i < 0 || i >= len(s.ring)-1 {
 		panic(fmt.Sprintf("driver: level %d of %d", i, len(s.ring)-1))
 	}
@@ -98,11 +106,11 @@ func (s *Simulation) Level(i int) *grid.Grid {
 }
 
 // Steps returns how many steps have run.
-func (s *Simulation) Steps() int { return s.step }
+func (s *Simulation[T]) Steps() int { return s.step }
 
 // Step advances one time level: refresh halos on every input level, apply
 // the kernel, rotate the ring.
-func (s *Simulation) Step() error {
+func (s *Simulation[T]) Step() error {
 	inputs := s.ring[:s.Kernel.Buffers]
 	for _, g := range inputs {
 		s.refreshHalo(g)
@@ -123,23 +131,23 @@ func (s *Simulation) Step() error {
 // cache. The simulation may still be stepped afterwards (the pool restarts
 // lazily); Close exists so applications that build many short-lived
 // simulations do not accumulate idle goroutines.
-func (s *Simulation) Close() { s.runner.Close() }
+func (s *Simulation[T]) Close() { s.runner.Close() }
 
 // Release closes the simulation and returns its ring buffers to the grid
 // pool. Unlike Close, the simulation must not be used afterwards — its time
 // levels are gone. Applications that build many short-lived simulations of
 // the same geometry should prefer Release so successive simulations recycle
 // their rings. Release is idempotent.
-func (s *Simulation) Release() {
+func (s *Simulation[T]) Release() {
 	s.runner.Close()
 	for _, g := range s.ring {
-		grid.Release(g)
+		grid.ReleaseOf(g)
 	}
 	s.ring = nil
 }
 
 // Run advances n steps.
-func (s *Simulation) Run(n int) error {
+func (s *Simulation[T]) Run(n int) error {
 	for i := 0; i < n; i++ {
 		if err := s.Step(); err != nil {
 			return fmt.Errorf("driver: step %d: %w", s.step, err)
@@ -149,7 +157,7 @@ func (s *Simulation) Run(n int) error {
 }
 
 // refreshHalo fills the halo cells of g according to the boundary condition.
-func (s *Simulation) refreshHalo(g *grid.Grid) {
+func (s *Simulation[T]) refreshHalo(g *grid.Grid[T]) {
 	if s.Boundary == Dirichlet {
 		return // halo untouched: keeps initial values
 	}

@@ -61,11 +61,11 @@ func TestParsedExecutableMatchesBuiltin(t *testing.T) {
 	builtin := exec.LaplacianExec()
 
 	r := exec.NewRunner()
-	mk := func() (*grid.Grid, []*grid.Grid) {
+	mk := func() (*grid.Grid[float64], []*grid.Grid[float64]) {
 		out := grid.New(20, 20, 20, 1, 1)
 		in := grid.New(20, 20, 20, 1, 1)
 		in.FillPattern()
-		return out, []*grid.Grid{in}
+		return out, []*grid.Grid[float64]{in}
 	}
 	outA, insA := mk()
 	outB, insB := mk()

@@ -4,6 +4,15 @@
 // chunked multithreaded tile scheduling (c) — implemented with goroutine
 // workers instead of OpenMP threads.
 //
+// The engine is generic over the element type: Runner[float32] executes and
+// times single-precision stencils in genuine float32 arithmetic and memory
+// traffic, Runner[float64] in double precision. Kernel descriptions
+// (LinearKernel) stay type-neutral — weights are declared in float64 and
+// converted to the execution type when a plan is built — so one kernel
+// definition serves both precisions. NewRunner returns the double-precision
+// runner (the historical default); NewRunnerOf selects the type explicitly,
+// and Measurer picks the runner matching each stencil's declared DataType.
+//
 // Execution is split into a compile step and an execute step. Compile takes
 // a kernel, a grid geometry and a tuning vector and produces a *Program: the
 // exact-size tile decomposition, its flattened (base, n) row-span plan, the
@@ -44,6 +53,8 @@ import (
 )
 
 // Term is one weighted access of a linear stencil: out += Weight * in[buffer][p + Offset].
+// Weights are declared in float64 regardless of the execution type; plans
+// convert them once at compile time.
 type Term struct {
 	Buffer int
 	Offset shape.Point
@@ -52,6 +63,8 @@ type Term struct {
 
 // LinearKernel is an executable stencil: the updated value is the weighted
 // sum of the terms. Every Table III benchmark is expressible in this form.
+// The description is element-type-neutral; the Runner executing it fixes the
+// precision.
 type LinearKernel struct {
 	Name    string
 	Buffers int
@@ -95,63 +108,69 @@ func (k *LinearKernel) Shape() *shape.Shape {
 	return s
 }
 
-// plan holds the flattened per-term data precomputed for one grid geometry.
-type plan struct {
-	idxOff []int       // flat-index displacement per term
-	weight []float64   // weight per term
-	data   [][]float64 // backing slice per buffer, indexed by term
+// plan holds the flattened per-term data precomputed for one grid geometry,
+// with weights converted to the execution type.
+type plan[T grid.Float] struct {
+	idxOff []int // flat-index displacement per term
+	weight []T   // weight per term
+	data   [][]T // backing slice per buffer, indexed by term
 }
 
-func buildPlan(k *LinearKernel, out *grid.Grid, ins []*grid.Grid) *plan {
-	p := &plan{
+func buildPlan[T grid.Float](k *LinearKernel, out *grid.Grid[T], ins []*grid.Grid[T]) *plan[T] {
+	p := &plan[T]{
 		idxOff: make([]int, len(k.Terms)),
-		weight: make([]float64, len(k.Terms)),
-		data:   make([][]float64, len(k.Terms)),
+		weight: make([]T, len(k.Terms)),
+		data:   make([][]T, len(k.Terms)),
 	}
 	for i, t := range k.Terms {
 		g := ins[t.Buffer]
 		p.idxOff[i] = g.OffsetIndex(t.Offset.X, t.Offset.Y, t.Offset.Z)
-		p.weight[i] = t.Weight
+		p.weight[i] = T(t.Weight)
 		p.data[i] = g.Data()
 	}
 	_ = out
 	return p
 }
 
-// Runner executes kernels with a fixed worker count (defaults to GOMAXPROCS).
-// It owns a persistent worker pool (started lazily on first execution) and a
-// cache of compiled Programs; both are released by Close. Setting Workers has
-// no effect once the pool has started. Executions through one Runner are
-// serialized — the pool already saturates the machine for a single run.
-type Runner struct {
+// Runner executes kernels of one element type with a fixed worker count
+// (defaults to GOMAXPROCS). It owns a persistent worker pool (started lazily
+// on first execution) and a cache of compiled Programs; both are released by
+// Close. Setting Workers has no effect once the pool has started. Executions
+// through one Runner are serialized — the pool already saturates the machine
+// for a single run.
+type Runner[T grid.Float] struct {
 	Workers int
 
 	mu          sync.Mutex
-	pool        *workerPool
-	progs       map[progKey]*Program
+	pool        *workerPool[T]
+	progs       map[progKey]*Program[T]
 	cachedTiles int
 	cachedSpans int
 }
 
-// NewRunner returns a runner using all available CPUs.
-func NewRunner() *Runner { return &Runner{Workers: runtime.GOMAXPROCS(0)} }
+// NewRunnerOf returns a runner of element type T using all available CPUs.
+func NewRunnerOf[T grid.Float]() *Runner[T] { return &Runner[T]{Workers: runtime.GOMAXPROCS(0)} }
+
+// NewRunner returns a double-precision runner using all available CPUs (the
+// float64 shim of NewRunnerOf).
+func NewRunner() *Runner[float64] { return NewRunnerOf[float64]() }
 
 // poolLocked returns the persistent worker pool, starting it on first use.
 // Callers must hold r.mu.
-func (r *Runner) poolLocked() *workerPool {
+func (r *Runner[T]) poolLocked() *workerPool[T] {
 	if r.pool == nil {
 		w := r.Workers
 		if w < 1 {
 			w = 1
 		}
-		r.pool = newWorkerPool(w)
+		r.pool = newWorkerPool[T](w)
 	}
 	return r.pool
 }
 
 // Close stops the persistent worker pool and drops the program cache. The
 // Runner may be reused afterwards: the next execution restarts the pool.
-func (r *Runner) Close() {
+func (r *Runner[T]) Close() {
 	r.mu.Lock()
 	pool := r.pool
 	r.pool = nil
@@ -168,7 +187,7 @@ func (r *Runner) Close() {
 // exactly — extent and halo widths, hence strides, since the term plan's flat
 // index displacements are shared between the output and every input — and
 // carries a sufficient halo for the kernel's maximum offset.
-func checkGeometry(k *LinearKernel, out *grid.Grid, ins []*grid.Grid) error {
+func checkGeometry[T grid.Float](k *LinearKernel, out *grid.Grid[T], ins []*grid.Grid[T]) error {
 	if len(ins) != k.Buffers {
 		return fmt.Errorf("exec: kernel %q wants %d buffers, got %d", k.Name, k.Buffers, len(ins))
 	}
@@ -191,8 +210,10 @@ func checkGeometry(k *LinearKernel, out *grid.Grid, ins []*grid.Grid) error {
 }
 
 // Reference computes the kernel with a naive, unblocked, single-threaded
-// sweep. It is the correctness oracle for Run.
-func (r *Runner) Reference(k *LinearKernel, out *grid.Grid, ins []*grid.Grid) error {
+// sweep, accumulating in the runner's element type. It is the correctness
+// oracle for Run: the compiled path of the same Runner instantiation must
+// match it bit-for-bit for canonically ordered kernels.
+func (r *Runner[T]) Reference(k *LinearKernel, out *grid.Grid[T], ins []*grid.Grid[T]) error {
 	if err := k.Validate(); err != nil {
 		return err
 	}
@@ -205,7 +226,7 @@ func (r *Runner) Reference(k *LinearKernel, out *grid.Grid, ins []*grid.Grid) er
 		for y := 0; y < out.NY; y++ {
 			base := out.Index(0, y, z)
 			for x := 0; x < out.NX; x++ {
-				var acc float64
+				var acc T
 				i := base + x
 				for t := range p.idxOff {
 					acc += p.weight[t] * p.data[t][i+p.idxOff[t]]
@@ -231,7 +252,7 @@ type tile struct {
 // Run compiles (or looks up) the cached Program for (kernel, geometry,
 // vector) and executes it; in steady state it performs no allocations and
 // spawns no goroutines.
-func (r *Runner) Run(k *LinearKernel, out *grid.Grid, ins []*grid.Grid, tv tunespace.Vector) error {
+func (r *Runner[T]) Run(k *LinearKernel, out *grid.Grid[T], ins []*grid.Grid[T], tv tunespace.Vector) error {
 	// Fast path: a cache hit proves (kernel, geometry, vector) were already
 	// validated at compile time, so only the per-call grid binding (checked
 	// by Program.Run) remains.
@@ -260,7 +281,7 @@ func (r *Runner) Run(k *LinearKernel, out *grid.Grid, ins []*grid.Grid, tv tunes
 // the per-call setup and dispatch overhead Compile amortizes — not the
 // inner-loop rewrite, whose effect shows up in the BenchmarkRunCompiled
 // trajectory across PRs.
-func (r *Runner) RunLegacy(k *LinearKernel, out *grid.Grid, ins []*grid.Grid, tv tunespace.Vector) error {
+func (r *Runner[T]) RunLegacy(k *LinearKernel, out *grid.Grid[T], ins []*grid.Grid[T], tv tunespace.Vector) error {
 	if err := k.Validate(); err != nil {
 		return err
 	}
@@ -276,7 +297,7 @@ func (r *Runner) RunLegacy(k *LinearKernel, out *grid.Grid, ins []*grid.Grid, tv
 		return err
 	}
 
-	tiles := decompose(out, tv)
+	tiles := decompose(geomOf(out), tv)
 	p := buildPlan(k, out, ins)
 	fp := detectFast(k, p)
 	if fp != nil {
@@ -323,16 +344,17 @@ func (r *Runner) RunLegacy(k *LinearKernel, out *grid.Grid, ins []*grid.Grid, tv
 
 // decompose splits the interior into tiles in z-major order with an
 // exact-size allocation. It is the single tile decomposition shared by
-// Compile and RunLegacy.
-func decompose(out *grid.Grid, tv tunespace.Vector) []tile {
-	n := ceilDiv(out.NX, tv.Bx) * ceilDiv(out.NY, tv.By) * ceilDiv(out.NZ, tv.Bz)
+// Compile and RunLegacy; operating on the element-type-free geom keeps it
+// (and its fuzz target) independent of the grid instantiation.
+func decompose(g geom, tv tunespace.Vector) []tile {
+	n := ceilDiv(g.nx, tv.Bx) * ceilDiv(g.ny, tv.By) * ceilDiv(g.nz, tv.Bz)
 	tiles := make([]tile, 0, n)
-	for z0 := 0; z0 < out.NZ; z0 += tv.Bz {
-		z1 := min(z0+tv.Bz, out.NZ)
-		for y0 := 0; y0 < out.NY; y0 += tv.By {
-			y1 := min(y0+tv.By, out.NY)
-			for x0 := 0; x0 < out.NX; x0 += tv.Bx {
-				x1 := min(x0+tv.Bx, out.NX)
+	for z0 := 0; z0 < g.nz; z0 += tv.Bz {
+		z1 := min(z0+tv.Bz, g.nz)
+		for y0 := 0; y0 < g.ny; y0 += tv.By {
+			y1 := min(y0+tv.By, g.ny)
+			for x0 := 0; x0 < g.nx; x0 += tv.Bx {
+				x1 := min(x0+tv.Bx, g.nx)
 				tiles = append(tiles, tile{x0, x1, y0, y1, z0, z1})
 			}
 		}
@@ -346,7 +368,7 @@ func ceilDiv(a, b int) int { return (a + b - 1) / b }
 // on the fly. It serves RunLegacy and the oversize-grid fallback of the
 // compiled path; compiled programs normally execute precomputed row spans
 // instead (see pool.drain).
-func runTile(p *plan, out *grid.Grid, t tile, unroll int) {
+func runTile[T grid.Float](p *plan[T], out *grid.Grid[T], t tile, unroll int) {
 	dst := out.Data()
 	fuse := fuseWidth(unroll)
 	n := t.x1 - t.x0

@@ -12,7 +12,7 @@ import (
 )
 
 // buildWorkspace allocates an output grid and input buffers for a kernel.
-func buildWorkspace(t *testing.T, k *LinearKernel, nx, ny, nz int) (*grid.Grid, []*grid.Grid) {
+func buildWorkspace(t *testing.T, k *LinearKernel, nx, ny, nz int) (*grid.Grid[float64], []*grid.Grid[float64]) {
 	t.Helper()
 	halo := k.MaxOffset()
 	haloZ := halo
@@ -20,7 +20,7 @@ func buildWorkspace(t *testing.T, k *LinearKernel, nx, ny, nz int) (*grid.Grid, 
 		haloZ = 0
 	}
 	out := grid.New(nx, ny, nz, halo, haloZ)
-	var ins []*grid.Grid
+	var ins []*grid.Grid[float64]
 	for b := 0; b < k.Buffers; b++ {
 		g := grid.New(nx, ny, nz, halo, haloZ)
 		g.FillPattern()
@@ -110,7 +110,7 @@ func TestBlocksLargerThanDomain(t *testing.T) {
 }
 
 func TestSingleWorker(t *testing.T) {
-	r := &Runner{Workers: 1}
+	r := &Runner[float64]{Workers: 1}
 	k := BlurExec()
 	ref, ins := buildWorkspace(t, k, 64, 48, 1)
 	if err := r.Reference(k, ref, ins); err != nil {
@@ -140,12 +140,12 @@ func TestValidationErrors(t *testing.T) {
 	}
 	// Geometry mismatch.
 	bad := grid.New(8, 16, 16, 1, 1)
-	if err := r.Run(k, out, []*grid.Grid{bad}, tunespace.Vector{Bx: 8, By: 8, Bz: 8, U: 0, C: 1}); err == nil {
+	if err := r.Run(k, out, []*grid.Grid[float64]{bad}, tunespace.Vector{Bx: 8, By: 8, Bz: 8, U: 0, C: 1}); err == nil {
 		t.Error("geometry mismatch accepted")
 	}
 	// Insufficient halo.
 	thin := grid.New(16, 16, 16, 0, 0)
-	if err := r.Run(k, out, []*grid.Grid{thin}, tunespace.Vector{Bx: 8, By: 8, Bz: 8, U: 0, C: 1}); err == nil {
+	if err := r.Run(k, out, []*grid.Grid[float64]{thin}, tunespace.Vector{Bx: 8, By: 8, Bz: 8, U: 0, C: 1}); err == nil {
 		t.Error("insufficient halo accepted")
 	}
 	// Empty kernel.
@@ -184,7 +184,7 @@ func TestDivergenceUsesAllThreeBuffers(t *testing.T) {
 	}
 	sumFull := out.InteriorSum()
 	for b := 0; b < 3; b++ {
-		mod := make([]*grid.Grid, 3)
+		mod := make([]*grid.Grid[float64], 3)
 		for i := range ins {
 			mod[i] = ins[i].Clone()
 		}
@@ -269,8 +269,8 @@ func TestMeasurerProducesPositiveTimes(t *testing.T) {
 	if _, err := m.Measure(q, tunespace.Vector{Bx: 32, By: 8, Bz: 4, U: 0, C: 1}); err != nil {
 		t.Fatal(err)
 	}
-	if len(m.ws) != 1 {
-		t.Errorf("workspace cache size = %d, want 1", len(m.ws))
+	if len(m.ws64) != 1 {
+		t.Errorf("workspace cache size = %d, want 1", len(m.ws64))
 	}
 }
 
@@ -285,7 +285,7 @@ func TestMeasurerRejectsInvalidTuning(t *testing.T) {
 
 func TestDecomposeCoversDomainExactly(t *testing.T) {
 	out := grid.New(30, 20, 10, 1, 1)
-	tiles := decompose(out, tunespace.Vector{Bx: 7, By: 8, Bz: 3, U: 0, C: 1})
+	tiles := decompose(geomOf(out), tunespace.Vector{Bx: 7, By: 8, Bz: 3, U: 0, C: 1})
 	covered := make(map[[3]int]int)
 	for _, tl := range tiles {
 		if tl.x0 >= tl.x1 || tl.y0 >= tl.y1 || tl.z0 >= tl.z1 {
@@ -328,9 +328,9 @@ func TestChunkSchedulingAllChunksMatch(t *testing.T) {
 }
 
 func TestFastPathDetection(t *testing.T) {
-	mk := func(k *LinearKernel, nx int) *plan {
+	mk := func(k *LinearKernel, nx int) *plan[float64] {
 		out := grid.New(nx, 8, 8, k.MaxOffset(), k.MaxOffset())
-		var ins []*grid.Grid
+		var ins []*grid.Grid[float64]
 		for b := 0; b < k.Buffers; b++ {
 			ins = append(ins, grid.New(nx, 8, 8, k.MaxOffset(), k.MaxOffset()))
 		}

@@ -69,17 +69,17 @@ func boxOffsets(zr int) [][3]int {
 // fastPlan holds the precomputed data of a specialized kernel. w and off are
 // indexed by the slot order of the kind's canonical offset table; data is
 // bound per run.
-type fastPlan struct {
+type fastPlan[T grid.Float] struct {
 	kind fastKind
-	data []float64
-	w    [27]float64
+	data []T
+	w    [27]T
 	off  [27]int
 }
 
 // detectFast inspects a kernel's term plan and returns a specialization when
 // it matches one of the known shapes exactly. Only weights and index offsets
 // are captured; bind data before executing.
-func detectFast(k *LinearKernel, p *plan) *fastPlan {
+func detectFast[T grid.Float](k *LinearKernel, p *plan[T]) *fastPlan[T] {
 	if k.Buffers != 1 {
 		return nil
 	}
@@ -102,11 +102,11 @@ func detectFast(k *LinearKernel, p *plan) *fastPlan {
 // requires the kernel's term count to equal the table size and every wanted
 // offset to appear among the terms; a kernel with a duplicated offset then
 // necessarily misses another wanted one and falls back to the generic path.
-func matchTerms(k *LinearKernel, p *plan, kind fastKind, want [][3]int) *fastPlan {
+func matchTerms[T grid.Float](k *LinearKernel, p *plan[T], kind fastKind, want [][3]int) *fastPlan[T] {
 	if len(k.Terms) != len(want) {
 		return nil
 	}
-	fp := &fastPlan{kind: kind}
+	fp := &fastPlan[T]{kind: kind}
 	for slot, w := range want {
 		found := false
 		for ti, t := range k.Terms {
@@ -126,7 +126,7 @@ func matchTerms(k *LinearKernel, p *plan, kind fastKind, want [][3]int) *fastPla
 
 // runRowStar7 computes one row of the 7-point star without the term table.
 // The unroll parameter selects the blocked body width like the generic path.
-func (fp *fastPlan) runRowStar7(dst []float64, base, n, unroll int) {
+func (fp *fastPlan[T]) runRowStar7(dst []T, base, n, unroll int) {
 	d := fp.data
 	wc, wxp, wxm, wyp, wym, wzp, wzm := fp.w[0], fp.w[1], fp.w[2], fp.w[3], fp.w[4], fp.w[5], fp.w[6]
 	oyp, oym, ozp, ozm := fp.off[3], fp.off[4], fp.off[5], fp.off[6]
@@ -149,7 +149,7 @@ func (fp *fastPlan) runRowStar7(dst []float64, base, n, unroll int) {
 }
 
 // runRowStar5 computes one row of the 2-D 5-point star.
-func (fp *fastPlan) runRowStar5(dst []float64, base, n, unroll int) {
+func (fp *fastPlan[T]) runRowStar5(dst []T, base, n, unroll int) {
 	d := fp.data
 	wc, wxp, wxm, wyp, wym := fp.w[0], fp.w[1], fp.w[2], fp.w[3], fp.w[4]
 	oyp, oym := fp.off[3], fp.off[4]
@@ -169,7 +169,7 @@ func (fp *fastPlan) runRowStar5(dst []float64, base, n, unroll int) {
 }
 
 // runRowRow3 computes one row of the 3-point x stencil.
-func (fp *fastPlan) runRowRow3(dst []float64, base, n, unroll int) {
+func (fp *fastPlan[T]) runRowRow3(dst []T, base, n, unroll int) {
 	d := fp.data
 	wc, wxp, wxm := fp.w[0], fp.w[1], fp.w[2]
 	x := 0
@@ -191,13 +191,13 @@ func (fp *fastPlan) runRowRow3(dst []float64, base, n, unroll int) {
 // x-contiguous row r, so each row contributes d[j-1], d[j], d[j+1]. Terms
 // accumulate one statement at a time to preserve the canonical summation
 // order (bit-compatible with Reference for canonically ordered kernels).
-func (fp *fastPlan) runRowBox(dst []float64, base, n, rows, unroll int) {
+func (fp *fastPlan[T]) runRowBox(dst []T, base, n, rows, unroll int) {
 	d := fp.data
 	x := 0
 	if unroll >= 2 {
 		for ; x+2 <= n; x += 2 {
 			i := base + x
-			var a0, a1 float64
+			var a0, a1 T
 			for r := 0; r < rows; r++ {
 				j := i + fp.off[3*r+1]
 				wl, wc, wr := fp.w[3*r], fp.w[3*r+1], fp.w[3*r+2]
@@ -214,7 +214,7 @@ func (fp *fastPlan) runRowBox(dst []float64, base, n, rows, unroll int) {
 	}
 	for ; x < n; x++ {
 		i := base + x
-		var acc float64
+		var acc T
 		for r := 0; r < rows; r++ {
 			j := i + fp.off[3*r+1]
 			acc += fp.w[3*r] * d[j-1]
@@ -228,7 +228,7 @@ func (fp *fastPlan) runRowBox(dst []float64, base, n, rows, unroll int) {
 // runTileFast sweeps one tile through the specialized body, computing row
 // bases on the fly (RunLegacy and the oversize-grid fallback; compiled
 // programs walk precomputed spans via runSpansFast).
-func runTileFast(fp *fastPlan, out *grid.Grid, t tile, unroll int) {
+func runTileFast[T grid.Float](fp *fastPlan[T], out *grid.Grid[T], t tile, unroll int) {
 	dst := out.Data()
 	for z := t.z0; z < t.z1; z++ {
 		for y := t.y0; y < t.y1; y++ {
@@ -252,7 +252,7 @@ func runTileFast(fp *fastPlan, out *grid.Grid, t tile, unroll int) {
 
 // runSpansFast sweeps a run of precompiled (base, n) row-span pairs through
 // the specialized body, with the kind dispatch hoisted out of the row loop.
-func runSpansFast(fp *fastPlan, dst []float64, spans []int32, unroll int) {
+func runSpansFast[T grid.Float](fp *fastPlan[T], dst []T, spans []int32, unroll int) {
 	switch fp.kind {
 	case fastStar7:
 		for i := 0; i+1 < len(spans); i += 2 {

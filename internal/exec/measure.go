@@ -15,11 +15,22 @@ import (
 // run against either wall-clock measurements or the deterministic model
 // (EvaluateMode in the public API).
 //
+// Measurements are precision-true: a stencil declaring stencil.Float32 is
+// executed through the float32 runner on float32 workspaces, so its timing
+// reflects genuine single-precision memory traffic; Float64 stencils run in
+// double precision as before. Each element type owns its runner (worker pool
+// + program cache) and workspace cache — the pools start lazily, so a
+// workload of one precision never pays for the other.
+//
 // Besides the grid workspaces, the Measurer caches the executable kernel per
 // model kernel, so the thousands of Measure calls a search issues hit the
 // Runner's compiled-program cache instead of rebuilding terms every time.
 type Measurer struct {
-	Runner *Runner
+	// Runner executes Float64 stencils (the name predates the split; kept
+	// so existing callers tuning the double-precision engine still work).
+	Runner *Runner[float64]
+	// Runner32 executes Float32 stencils.
+	Runner32 *Runner[float32]
 	// Repetitions per measurement; the minimum time is reported, which is
 	// the standard noise-rejection practice for microbenchmarks.
 	Repetitions int
@@ -28,9 +39,11 @@ type Measurer struct {
 	// interleaved wall-clock timings of a machine-saturating kernel would
 	// corrupt each other anyway.
 	mu sync.Mutex
-	// cache of prepared workspaces keyed by geometry, to avoid reallocating
-	// hundreds of MB per evaluation during a search.
-	ws map[wsKey]*workspace
+	// cache of prepared workspaces keyed by geometry, one map per element
+	// type, to avoid reallocating hundreds of MB per evaluation during a
+	// search.
+	ws64 map[wsKey]*workspace[float64]
+	ws32 map[wsKey]*workspace[float32]
 	// cache of executable realizations keyed by model kernel identity, so
 	// the Runner's program cache sees a stable kernel pointer.
 	kernels map[*stencil.Kernel]*LinearKernel
@@ -41,35 +54,64 @@ type wsKey struct {
 	halo int
 }
 
-type workspace struct {
-	out *grid.Grid
-	ins []*grid.Grid
+type workspace[T grid.Float] struct {
+	out *grid.Grid[T]
+	ins []*grid.Grid[T]
 }
 
 // NewMeasurer returns a measurer with 3 repetitions.
 func NewMeasurer() *Measurer {
 	return &Measurer{
 		Runner:      NewRunner(),
+		Runner32:    NewRunnerOf[float32](),
 		Repetitions: 3,
-		ws:          make(map[wsKey]*workspace),
+		ws64:        make(map[wsKey]*workspace[float64]),
+		ws32:        make(map[wsKey]*workspace[float32]),
 		kernels:     make(map[*stencil.Kernel]*LinearKernel),
 	}
 }
 
 // Close returns the cached workspace grids to the grid pool and stops the
-// underlying runner's worker pool. The measurer may be reused afterwards:
-// the next measurement re-acquires workspaces and restarts the pool.
+// underlying runners' worker pools. The measurer may be reused afterwards:
+// the next measurement re-acquires workspaces and restarts the pools.
 func (m *Measurer) Close() {
 	m.mu.Lock()
-	for key, w := range m.ws {
-		grid.Release(w.out)
-		for _, g := range w.ins {
-			grid.Release(g)
-		}
-		delete(m.ws, key)
-	}
+	releaseWorkspaces(m.ws64)
+	releaseWorkspaces(m.ws32)
 	m.mu.Unlock()
 	m.Runner.Close()
+	m.Runner32.Close()
+}
+
+func releaseWorkspaces[T grid.Float](ws map[wsKey]*workspace[T]) {
+	for key, w := range ws {
+		grid.ReleaseOf(w.out)
+		for _, g := range w.ins {
+			grid.ReleaseOf(g)
+		}
+		delete(ws, key)
+	}
+}
+
+// WorkspaceBytes reports the total bytes of grid memory currently held in
+// the measurer's cached workspaces, per element type. It exists so tests
+// (and capacity planning) can assert the measurer allocates DataType-sized
+// buffers — a Float32 instance must grow bytes32, never bytes64.
+func (m *Measurer) WorkspaceBytes() (bytes32, bytes64 int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return workspaceBytes(m.ws32), workspaceBytes(m.ws64)
+}
+
+func workspaceBytes[T grid.Float](ws map[wsKey]*workspace[T]) int {
+	total := 0
+	for _, w := range ws {
+		total += w.out.Len() * w.out.ElemBytes()
+		for _, g := range w.ins {
+			total += g.Len() * g.ElemBytes()
+		}
+	}
+	return total
 }
 
 // maxCachedKernels bounds the executable-kernel cache; callers that mint a
@@ -100,20 +142,20 @@ func (m *Measurer) executableFor(k *stencil.Kernel) *LinearKernel {
 // needs more input buffers than any previous one did. Workspace grids come
 // from the grid pool (Close returns them), so interleaved searches over
 // many geometries recycle buffers instead of churning the GC.
-func (m *Measurer) workspaceFor(q stencil.Instance, k *LinearKernel) *workspace {
+func workspaceFor[T grid.Float](ws map[wsKey]*workspace[T], q stencil.Instance, k *LinearKernel) *workspace[T] {
 	halo := k.MaxOffset()
 	key := wsKey{q.Size, halo}
-	w, ok := m.ws[key]
+	w, ok := ws[key]
 	if !ok {
 		haloZ := halo
 		if q.Size.Is2D() {
 			haloZ = 0
 		}
-		w = &workspace{out: grid.Acquire(q.Size.X, q.Size.Y, q.Size.Z, halo, haloZ)}
-		m.ws[key] = w
+		w = &workspace[T]{out: grid.AcquireOf[T](q.Size.X, q.Size.Y, q.Size.Z, halo, haloZ)}
+		ws[key] = w
 	}
 	for len(w.ins) < k.Buffers {
-		g := grid.Acquire(q.Size.X, q.Size.Y, q.Size.Z, w.out.Halo, w.out.HaloZ)
+		g := grid.AcquireOf[T](q.Size.X, q.Size.Y, q.Size.Z, w.out.Halo, w.out.HaloZ)
 		g.FillPattern()
 		w.ins = append(w.ins, g)
 	}
@@ -121,7 +163,8 @@ func (m *Measurer) workspaceFor(q stencil.Instance, k *LinearKernel) *workspace 
 }
 
 // Measure reports the wall-clock seconds of one full sweep of the instance
-// under the tuning vector. The error is non-nil for invalid configurations.
+// under the tuning vector, executed in the instance's declared DataType. The
+// error is non-nil for invalid configurations.
 func (m *Measurer) Measure(q stencil.Instance, t tunespace.Vector) (float64, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -153,18 +196,28 @@ func (m *Measurer) MeasureBatch(q stencil.Instance, ts []tunespace.Vector) ([]fl
 	return out, firstErr
 }
 
-// measureLocked is Measure's body; callers hold m.mu.
+// measureLocked is Measure's body; callers hold m.mu. It dispatches to the
+// runner and workspace cache matching the stencil's declared element type.
 func (m *Measurer) measureLocked(q stencil.Instance, t tunespace.Vector) (float64, error) {
 	k := m.executableFor(q.Kernel)
-	w := m.workspaceFor(q, k)
+	if q.Kernel != nil && q.Kernel.Type == stencil.Float32 {
+		return measureIn(m.Runner32, m.ws32, m.Repetitions, q, k, t)
+	}
+	return measureIn(m.Runner, m.ws64, m.Repetitions, q, k, t)
+}
+
+// measureIn times one configuration on the given runner, in the runner's
+// element type.
+func measureIn[T grid.Float](r *Runner[T], ws map[wsKey]*workspace[T], reps int, q stencil.Instance, k *LinearKernel, t tunespace.Vector) (float64, error) {
+	w := workspaceFor(ws, q, k)
 	ins := w.ins[:k.Buffers]
 
-	prog, err := m.Runner.Compile(k, w.out, ins, t)
+	prog, err := r.Compile(k, w.out, ins, t)
 	if err != nil {
 		return 0, err
 	}
 	best := 0.0
-	for rep := 0; rep < max(1, m.Repetitions); rep++ {
+	for rep := 0; rep < max(1, reps); rep++ {
 		start := time.Now()
 		if err := prog.Run(w.out, ins); err != nil {
 			return 0, err

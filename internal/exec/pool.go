@@ -18,7 +18,7 @@ import (
 // only by woken workers, and every completion token is received before the
 // next run's writes, so plain (non-atomic) access to job.prog/job.out is
 // race-free; only the chunk counter needs atomics.
-type workerPool struct {
+type workerPool[T grid.Float] struct {
 	workers int
 	wake    chan struct{}
 	done    chan struct{}
@@ -26,16 +26,16 @@ type workerPool struct {
 	wg      sync.WaitGroup
 
 	job struct {
-		prog *Program
-		out  *grid.Grid
+		prog *Program[T]
+		out  *grid.Grid[T]
 		next int64
 	}
 }
 
 // newWorkerPool starts workers-1 goroutines: the goroutine calling run is
 // always the final drain participant, so total parallelism is workers.
-func newWorkerPool(workers int) *workerPool {
-	p := &workerPool{
+func newWorkerPool[T grid.Float](workers int) *workerPool[T] {
+	p := &workerPool[T]{
 		workers: workers,
 		wake:    make(chan struct{}, workers),
 		done:    make(chan struct{}, workers),
@@ -51,7 +51,7 @@ func newWorkerPool(workers int) *workerPool {
 // stop terminates the workers and waits for them to exit. The pool must be
 // idle (no run in flight); the Runner guarantees this by serializing runs
 // and Close under its mutex.
-func (p *workerPool) stop() {
+func (p *workerPool[T]) stop() {
 	close(p.quit)
 	p.wg.Wait()
 }
@@ -61,7 +61,7 @@ func (p *workerPool) stop() {
 // calling goroutine participates in the drain, so a single-tile job (the
 // small-grid regime where dispatch overhead dominates) involves no channel
 // round-trip at all.
-func (p *workerPool) run(prog *Program, out *grid.Grid) {
+func (p *workerPool[T]) run(prog *Program[T], out *grid.Grid[T]) {
 	p.job.prog = prog
 	p.job.out = out
 	atomic.StoreInt64(&p.job.next, 0)
@@ -78,7 +78,7 @@ func (p *workerPool) run(prog *Program, out *grid.Grid) {
 	}
 }
 
-func (p *workerPool) worker() {
+func (p *workerPool[T]) worker() {
 	defer p.wg.Done()
 	for {
 		select {
@@ -97,7 +97,7 @@ func (p *workerPool) worker() {
 // program's precompiled row spans: a linear walk of (base, n) pairs with no
 // per-row index arithmetic. Grids too large for the int32 span plan fall
 // back to computing row bases on the fly.
-func (p *workerPool) drain() {
+func (p *workerPool[T]) drain() {
 	prog := p.job.prog
 	out := p.job.out
 	tiles := prog.tiles

@@ -10,19 +10,37 @@ import (
 
 // geom captures the grid geometry a compiled program is specialized to. Two
 // grids with equal geom have identical strides, so a program's flat-index
-// displacements and tile list are valid for any of them.
+// displacements and tile list are valid for any of them — of either element
+// type; geom is deliberately type-free so the tile decomposition and span
+// plan are shared logic across Runner instantiations.
 type geom struct {
 	nx, ny, nz  int
 	halo, haloZ int
 }
 
-func geomOf(g *grid.Grid) geom {
+func geomOf[T grid.Float](g *grid.Grid[T]) geom {
 	return geom{nx: g.NX, ny: g.NY, nz: g.NZ, halo: g.Halo, haloZ: g.HaloZ}
+}
+
+// strideX returns the allocated row length, matching grid.Grid.StrideX.
+func (g geom) strideX() int { return g.nx + 2*g.halo }
+
+// strideY returns the allocated rows per plane, matching grid.Grid.StrideY.
+func (g geom) strideY() int { return g.ny + 2*g.halo }
+
+// size returns the total allocated element count, matching grid.Grid.Len.
+func (g geom) size() int { return g.strideX() * g.strideY() * (g.nz + 2*g.haloZ) }
+
+// index returns the flat index of interior coordinate (x, y, z), matching
+// grid.Grid.Index.
+func (g geom) index(x, y, z int) int {
+	return ((z+g.haloZ)*g.strideY()+(y+g.halo))*g.strideX() + (x + g.halo)
 }
 
 // progKey identifies a compiled program: kernel identity (by pointer — a
 // kernel must not be mutated after first use), grid geometry, and the
-// normalized tuning vector.
+// normalized tuning vector. The element type needs no key component: each
+// Runner instantiation owns its own cache.
 type progKey struct {
 	kernel *LinearKernel
 	geom   geom
@@ -46,9 +64,10 @@ const (
 // selection for one (kernel, geometry, tuning vector) triple, precomputed so
 // repeated executions only rebind grid data and dispatch to the persistent
 // worker pool. Programs are created and cached by Runner.Compile and execute
-// via Program.Run against any grids of the compiled geometry.
-type Program struct {
-	r      *Runner
+// via Program.Run against any grids of the compiled geometry and element
+// type.
+type Program[T grid.Float] struct {
+	r      *Runner[T]
 	kernel *LinearKernel
 	geom   geom
 	tv     tunespace.Vector
@@ -64,15 +83,15 @@ type Program struct {
 	spanStart []int32
 	fuse      int // term-fusion width of the generic passes, from tv.U
 
-	termBuf []int // source buffer per term, for per-run data rebinding
-	p       plan  // idxOff/weight fixed at compile; data rebound per run
-	fp      *fastPlan
+	termBuf []int   // source buffer per term, for per-run data rebinding
+	p       plan[T] // idxOff/weight fixed at compile; data rebound per run
+	fp      *fastPlan[T]
 }
 
 // Compile returns the cached program for (k, out's geometry, tv), building
 // and caching it on first use. The input grids are only used for validation —
 // the program is bound to concrete data at each Run.
-func (r *Runner) Compile(k *LinearKernel, out *grid.Grid, ins []*grid.Grid, tv tunespace.Vector) (*Program, error) {
+func (r *Runner[T]) Compile(k *LinearKernel, out *grid.Grid[T], ins []*grid.Grid[T], tv tunespace.Vector) (*Program[T], error) {
 	if err := k.Validate(); err != nil {
 		return nil, err
 	}
@@ -96,7 +115,7 @@ func (r *Runner) Compile(k *LinearKernel, out *grid.Grid, ins []*grid.Grid, tv t
 	}
 	pr := compileProgram(r, k, out, tv)
 	if r.progs == nil {
-		r.progs = make(map[progKey]*Program)
+		r.progs = make(map[progKey]*Program[T])
 	}
 	r.progs[key] = pr
 	r.cachedTiles += len(pr.tiles)
@@ -106,28 +125,28 @@ func (r *Runner) Compile(k *LinearKernel, out *grid.Grid, ins []*grid.Grid, tv t
 }
 
 // compileProgram does the actual precomputation for one cache entry.
-func compileProgram(r *Runner, k *LinearKernel, out *grid.Grid, tv tunespace.Vector) *Program {
-	pr := &Program{
+func compileProgram[T grid.Float](r *Runner[T], k *LinearKernel, out *grid.Grid[T], tv tunespace.Vector) *Program[T] {
+	pr := &Program[T]{
 		r:       r,
 		kernel:  k,
 		geom:    geomOf(out),
 		tv:      tv,
 		termBuf: make([]int, len(k.Terms)),
-		p: plan{
+		p: plan[T]{
 			idxOff: make([]int, len(k.Terms)),
-			weight: make([]float64, len(k.Terms)),
-			data:   make([][]float64, len(k.Terms)),
+			weight: make([]T, len(k.Terms)),
+			data:   make([][]T, len(k.Terms)),
 		},
 	}
 	for i, t := range k.Terms {
 		pr.p.idxOff[i] = out.OffsetIndex(t.Offset.X, t.Offset.Y, t.Offset.Z)
-		pr.p.weight[i] = t.Weight
+		pr.p.weight[i] = T(t.Weight)
 		pr.termBuf[i] = t.Buffer
 	}
 	pr.fp = detectFast(k, &pr.p)
-	pr.tiles = decompose(out, tv)
+	pr.tiles = decompose(pr.geom, tv)
 	pr.fuse = fuseWidth(tv.U)
-	pr.spans, pr.spanStart = buildSpans(out, pr.tiles)
+	pr.spans, pr.spanStart = buildSpans(pr.geom, pr.tiles)
 	return pr
 }
 
@@ -136,8 +155,8 @@ func compileProgram(r *Runner, k *LinearKernel, out *grid.Grid, tv tunespace.Vec
 // Grids whose flat indices or total row counts overflow int32 — more than
 // 16 GB of float64, or billions of rows — get no span plan and execute
 // through the on-the-fly fallback.
-func buildSpans(out *grid.Grid, tiles []tile) (spans, spanStart []int32) {
-	if out.Len() > math.MaxInt32 {
+func buildSpans(g geom, tiles []tile) (spans, spanStart []int32) {
+	if g.size() > math.MaxInt32 {
 		return nil, nil
 	}
 	rows := 0
@@ -153,10 +172,10 @@ func buildSpans(out *grid.Grid, tiles []tile) (spans, spanStart []int32) {
 		spanStart[i] = int32(len(spans) / 2)
 		n := int32(t.x1 - t.x0)
 		for z := t.z0; z < t.z1; z++ {
-			base := out.Index(t.x0, t.y0, z)
+			base := g.index(t.x0, t.y0, z)
 			for y := t.y0; y < t.y1; y++ {
 				spans = append(spans, int32(base), n)
-				base += out.StrideX()
+				base += g.strideX()
 			}
 		}
 	}
@@ -166,7 +185,7 @@ func buildSpans(out *grid.Grid, tiles []tile) (spans, spanStart []int32) {
 
 // evictLocked enforces the cache bounds, never evicting keep (the entry just
 // inserted). Callers must hold r.mu.
-func (r *Runner) evictLocked(keep progKey) {
+func (r *Runner[T]) evictLocked(keep progKey) {
 	for key, pr := range r.progs {
 		if len(r.progs) <= maxCachedPrograms && r.cachedTiles <= maxCachedTiles &&
 			r.cachedSpans <= maxCachedSpans {
@@ -185,7 +204,7 @@ func (r *Runner) evictLocked(keep progKey) {
 // term data slices are rebound (so ring-buffer rotation and workspace reuse
 // need no recompilation) and tiles are dispatched to the persistent worker
 // pool. It performs no allocations.
-func (pr *Program) Run(out *grid.Grid, ins []*grid.Grid) error {
+func (pr *Program[T]) Run(out *grid.Grid[T], ins []*grid.Grid[T]) error {
 	if len(ins) != pr.kernel.Buffers {
 		return fmt.Errorf("exec: program for kernel %q wants %d buffers, got %d",
 			pr.kernel.Name, pr.kernel.Buffers, len(ins))
@@ -212,4 +231,4 @@ func (pr *Program) Run(out *grid.Grid, ins []*grid.Grid) error {
 }
 
 // Tiles reports the number of tiles in the compiled decomposition.
-func (pr *Program) Tiles() int { return len(pr.tiles) }
+func (pr *Program[T]) Tiles() int { return len(pr.tiles) }

@@ -63,14 +63,14 @@ func scramble(k *LinearKernel, seed int64) *LinearKernel {
 
 // TestNewFastPathDetection checks the expanded structural matcher.
 func TestNewFastPathDetection(t *testing.T) {
-	mk := func(k *LinearKernel, nz int) *plan {
+	mk := func(k *LinearKernel, nz int) *plan[float64] {
 		halo := k.MaxOffset()
 		haloZ := halo
 		if nz == 1 {
 			haloZ = 0
 		}
 		out := grid.New(8, 8, nz, halo, haloZ)
-		var ins []*grid.Grid
+		var ins []*grid.Grid[float64]
 		for b := 0; b < k.Buffers; b++ {
 			ins = append(ins, grid.New(8, 8, nz, halo, haloZ))
 		}
@@ -266,7 +266,7 @@ func TestProgramRejectsForeignGeometry(t *testing.T) {
 		t.Error("foreign output geometry accepted")
 	}
 	wideHalo := grid.New(16, 16, 16, 3, 3)
-	if err := p.Run(out, []*grid.Grid{wideHalo}); err == nil {
+	if err := p.Run(out, []*grid.Grid[float64]{wideHalo}); err == nil {
 		t.Error("foreign input halo accepted")
 	}
 	if err := p.Run(out, nil); err == nil {
@@ -325,7 +325,7 @@ func TestRunnerCloseAndReuse(t *testing.T) {
 // TestProgramCacheEviction fills the cache past its program-count bound and
 // checks it stays bounded while results remain correct.
 func TestProgramCacheEviction(t *testing.T) {
-	r := &Runner{Workers: 2}
+	r := &Runner[float64]{Workers: 2}
 	defer r.Close()
 	k := LaplacianExec()
 	out, ins := buildWorkspace(t, k, 12, 12, 12)
@@ -374,11 +374,11 @@ func TestMeasurerGrowsWorkspaceInPlace(t *testing.T) {
 	if _, err := m.Measure(stencil.Instance{Kernel: stencil.Laplacian(), Size: size}, tv); err != nil {
 		t.Fatal(err)
 	}
-	if len(m.ws) != 1 {
-		t.Fatalf("workspaces = %d, want 1", len(m.ws))
+	if len(m.ws64) != 1 {
+		t.Fatalf("workspaces = %d, want 1", len(m.ws64))
 	}
-	var w *workspace
-	for _, v := range m.ws {
+	var w *workspace[float64]
+	for _, v := range m.ws64 {
 		w = v
 	}
 	out, ins := w.out, len(w.ins)
@@ -389,10 +389,10 @@ func TestMeasurerGrowsWorkspaceInPlace(t *testing.T) {
 	if _, err := m.Measure(stencil.Instance{Kernel: stencil.Divergence(), Size: size}, tv); err != nil {
 		t.Fatal(err)
 	}
-	if len(m.ws) != 1 {
-		t.Fatalf("workspaces after growth = %d, want 1", len(m.ws))
+	if len(m.ws64) != 1 {
+		t.Fatalf("workspaces after growth = %d, want 1", len(m.ws64))
 	}
-	for _, v := range m.ws {
+	for _, v := range m.ws64 {
 		if v.out != out {
 			t.Error("workspace output grid was reallocated instead of reused")
 		}

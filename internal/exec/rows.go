@@ -1,5 +1,7 @@
 package exec
 
+import "repro/internal/grid"
+
 // This file is the generic-path inner loop of the compiled executor: it
 // computes one row span of the output as a sequence of term-major,
 // unit-stride passes instead of the historical point-major loop over the
@@ -50,14 +52,14 @@ func fuseWidth(u int) int {
 
 // src returns term t's source row for the span [base, base+n), with the
 // capacity clamped so the compiler knows later reslices cannot grow it.
-func (p *plan) src(t, base, n int) []float64 {
+func (p *plan[T]) src(t, base, n int) []T {
 	return p.data[t][base+p.idxOff[t]:][:n:n]
 }
 
 // runRowPlan computes the row span out[base : base+n] as the in-order
 // weighted sum of the plan's terms, as term-major passes of the given fuse
 // width.
-func runRowPlan(p *plan, out []float64, base, n, fuse int) {
+func runRowPlan[T grid.Float](p *plan[T], out []T, base, n, fuse int) {
 	dst := out[base : base+n]
 	w := p.weight
 	nt := len(w)
@@ -92,14 +94,14 @@ func runRowPlan(p *plan, out []float64, base, n, fuse int) {
 
 // runSpans executes a run of (base, n) row-span pairs through the generic
 // term-plan passes.
-func runSpans(p *plan, out []float64, spans []int32, fuse int) {
+func runSpans[T grid.Float](p *plan[T], out []T, spans []int32, fuse int) {
 	for i := 0; i+1 < len(spans); i += 2 {
 		runRowPlan(p, out, int(spans[i]), int(spans[i+1]), fuse)
 	}
 }
 
 // rowScale1 is the head pass: dst = w·a.
-func rowScale1(dst, a []float64, w float64) {
+func rowScale1[T grid.Float](dst, a []T, w T) {
 	a = a[:len(dst)]
 	for len(dst) >= 4 {
 		d, x := dst[:4], a[:4]
@@ -115,7 +117,7 @@ func rowScale1(dst, a []float64, w float64) {
 }
 
 // rowScale2 is the 2-term fused head pass: dst = wa·a + wb·b.
-func rowScale2(dst, a, b []float64, wa, wb float64) {
+func rowScale2[T grid.Float](dst, a, b []T, wa, wb T) {
 	n := len(dst)
 	a, b = a[:n], b[:n]
 	for len(dst) >= 4 {
@@ -132,7 +134,7 @@ func rowScale2(dst, a, b []float64, wa, wb float64) {
 }
 
 // rowScale4 is the 4-term fused head pass: dst = wa·a + wb·b + wc·c + wd·d.
-func rowScale4(dst, a, b, c, e []float64, wa, wb, wc, wd float64) {
+func rowScale4[T grid.Float](dst, a, b, c, e []T, wa, wb, wc, wd T) {
 	n := len(dst)
 	a, b, c, e = a[:n], b[:n], c[:n], e[:n]
 	for len(dst) >= 4 {
@@ -149,7 +151,7 @@ func rowScale4(dst, a, b, c, e []float64, wa, wb, wc, wd float64) {
 }
 
 // rowAxpy1 accumulates one term: dst += w·a.
-func rowAxpy1(dst, a []float64, w float64) {
+func rowAxpy1[T grid.Float](dst, a []T, w T) {
 	a = a[:len(dst)]
 	for len(dst) >= 4 {
 		d, x := dst[:4], a[:4]
@@ -168,7 +170,7 @@ func rowAxpy1(dst, a []float64, w float64) {
 // d = d + wa·a + wb·b rather than d += …, because += would evaluate the sum
 // of products before folding it into d — a reassociation that breaks
 // bit-equality with the sequential Reference accumulation.
-func rowAxpy2(dst, a, b []float64, wa, wb float64) {
+func rowAxpy2[T grid.Float](dst, a, b []T, wa, wb T) {
 	n := len(dst)
 	a, b = a[:n], b[:n]
 	for len(dst) >= 4 {
@@ -186,7 +188,7 @@ func rowAxpy2(dst, a, b []float64, wa, wb float64) {
 
 // rowAxpy4 accumulates four fused terms in plan order (see rowAxpy2 for why
 // the bodies avoid +=).
-func rowAxpy4(dst, a, b, c, e []float64, wa, wb, wc, wd float64) {
+func rowAxpy4[T grid.Float](dst, a, b, c, e []T, wa, wb, wc, wd T) {
 	n := len(dst)
 	a, b, c, e = a[:n], b[:n], c[:n], e[:n]
 	for len(dst) >= 4 {

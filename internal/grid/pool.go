@@ -4,16 +4,18 @@ import "sync"
 
 // Grid pooling. Dataset generation and autotuning allocate the same few grid
 // geometries over and over — multi-MB buffers whose churn dominates GC work
-// in steady state. Acquire/Release recycle grids through per-geometry
-// sync.Pools: grids with equal geometry have identical strides and layout,
-// so a released grid is a perfect substitute for a fresh allocation of the
-// same shape. Under memory pressure the runtime empties the pools, so idle
-// geometries cost nothing permanently.
+// in steady state. Acquire/Release recycle grids through per-geometry,
+// per-element-type sync.Pools: grids with equal geometry and type have
+// identical strides and layout, so a released grid is a perfect substitute
+// for a fresh allocation of the same shape. Under memory pressure the runtime
+// empties the pools, so idle geometries cost nothing permanently.
 
-// poolKey identifies a pool class: grids with equal geometry are
-// interchangeable.
+// poolKey identifies a pool class: grids with equal geometry and element size
+// are interchangeable. elemBytes keeps Grid[float32] and Grid[float64] of the
+// same geometry in disjoint classes.
 type poolKey struct {
 	nx, ny, nz, halo, haloZ int
+	elemBytes               int
 }
 
 var (
@@ -32,25 +34,36 @@ func poolFor(key poolKey) *sync.Pool {
 	return p
 }
 
-// Acquire returns a zeroed grid of the given geometry, reusing a previously
-// Released grid when one is available. It is the pooled drop-in for New:
-// contents are indistinguishable from a fresh allocation. Safe for
-// concurrent use.
-func Acquire(nx, ny, nz, halo, haloZ int) *Grid {
-	p := poolFor(poolKey{nx, ny, nz, halo, haloZ})
-	if g, ok := p.Get().(*Grid); ok {
+// AcquireOf returns a zeroed grid of element type T and the given geometry,
+// reusing a previously Released grid when one is available. It is the pooled
+// drop-in for NewOf: contents are indistinguishable from a fresh allocation.
+// Safe for concurrent use.
+func AcquireOf[T Float](nx, ny, nz, halo, haloZ int) *Grid[T] {
+	var zero T
+	p := poolFor(poolKey{nx, ny, nz, halo, haloZ, elemBytes(zero)})
+	if g, ok := p.Get().(*Grid[T]); ok {
 		clear(g.data)
 		return g
 	}
-	return New(nx, ny, nz, halo, haloZ)
+	return NewOf[T](nx, ny, nz, halo, haloZ)
 }
 
-// Release returns g to the pool serving its geometry for a later Acquire.
-// The caller must not retain any reference to g (including its Data slice)
-// afterwards. Release of nil is a no-op. Safe for concurrent use.
-func Release(g *Grid) {
+// Acquire returns a zeroed float64 grid (the double-precision shim of
+// AcquireOf).
+func Acquire(nx, ny, nz, halo, haloZ int) *Grid[float64] {
+	return AcquireOf[float64](nx, ny, nz, halo, haloZ)
+}
+
+// ReleaseOf returns g to the pool serving its geometry and element type for a
+// later AcquireOf. The caller must not retain any reference to g (including
+// its Data slice) afterwards. Release of nil is a no-op. Safe for concurrent
+// use.
+func ReleaseOf[T Float](g *Grid[T]) {
 	if g == nil {
 		return
 	}
-	poolFor(poolKey{g.NX, g.NY, g.NZ, g.Halo, g.HaloZ}).Put(g)
+	poolFor(poolKey{g.NX, g.NY, g.NZ, g.Halo, g.HaloZ, g.ElemBytes()}).Put(g)
 }
+
+// Release returns a float64 grid to the pool (the shim of ReleaseOf).
+func Release(g *Grid[float64]) { ReleaseOf(g) }

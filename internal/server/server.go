@@ -124,6 +124,9 @@ func (s *Server) Close() {
 }
 
 // getMeasurer lazily creates the shared measuring executor; nil after Close.
+// The measurer honors each request kernel's declared dtype (float requests
+// time real float32 execution), and kernelFingerprint keys the response
+// cache on the dtype, so the two precisions never share cached timings.
 func (s *Server) getMeasurer() *exec.Measurer {
 	s.measureMu.Lock()
 	defer s.measureMu.Unlock()

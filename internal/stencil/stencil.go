@@ -11,7 +11,11 @@ import (
 )
 
 // DataType is the element type of a stencil's buffers. The paper assumes
-// homogeneous buffer types and encodes float32 as 0 and float64 as 1.
+// homogeneous buffer types and encodes float32 as 0 and float64 as 1 in the
+// feature vector. The type is honored by real execution, not just
+// featurized: exec.Measurer allocates workspaces of this type and times the
+// matching Runner instantiation, so Float32 stencils are executed, measured
+// and benchmarked in genuine single precision.
 type DataType int
 
 // Supported buffer element types.

@@ -7,6 +7,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/ranking"
 	"repro/internal/shape"
+	"repro/internal/stencil"
 	"repro/internal/svmrank"
 )
 
@@ -36,6 +37,13 @@ func familyOf(query string) string {
 	return parts[2]
 }
 
+// queryHasType reports whether a training-kernel query id declares the given
+// element type (kernel names end in the dtype tag: "…-b1-double/128³").
+func queryHasType(query string, dt stencil.DataType) bool {
+	name, _, _ := strings.Cut(query, "/")
+	return strings.HasSuffix(name, "-"+dt.String())
+}
+
 // CrossValidate runs leave-one-family-out cross-validation: for each of the
 // four Fig. 1 families it trains on the other three and evaluates per-query
 // Kendall τ on the held-out family.
@@ -45,13 +53,51 @@ func CrossValidate(eval dataset.Evaluator, targetPoints int, seed int64) ([]Fold
 	if err != nil {
 		return nil, fmt.Errorf("trainer: crossval set: %w", err)
 	}
+	return foldByFamily(cfg, set, nil)
+}
 
+// CrossValidateDataTypes runs the same study restricted to training
+// examples of one element type, once per requested type (both when none are
+// given), all on a single generated dataset — with a Measure-mode evaluator
+// the dataset is the expensive part, and generating it once also means each
+// per-type study folds exactly the examples the pooled CrossValidate sees.
+// With precision-true Measure-mode execution the two element types produce
+// genuinely different runtimes, so per-type folds answer whether ranking
+// generalizes within each precision regime, not just pooled across both.
+func CrossValidateDataTypes(eval dataset.Evaluator, targetPoints int, seed int64, dts ...stencil.DataType) (map[stencil.DataType][]FoldResult, error) {
+	if len(dts) == 0 {
+		dts = []stencil.DataType{stencil.Float32, stencil.Float64}
+	}
+	cfg := DefaultConfig(targetPoints, seed)
+	set, err := dataset.Generate(eval, cfg.Dataset)
+	if err != nil {
+		return nil, fmt.Errorf("trainer: crossval set: %w", err)
+	}
+	out := make(map[stencil.DataType][]FoldResult, len(dts))
+	for _, dt := range dts {
+		folds, err := foldByFamily(cfg, set, func(query string) bool {
+			return queryHasType(query, dt)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("trainer: dtype %s: %w", dt, err)
+		}
+		out[dt] = folds
+	}
+	return out, nil
+}
+
+// foldByFamily folds one generated dataset per family, keeping only examples
+// accepted by keep (nil keeps everything).
+func foldByFamily(cfg Config, set *dataset.Set, keep func(query string) bool) ([]FoldResult, error) {
 	var folds []FoldResult
 	for _, fam := range shape.Families() {
 		name := fam.String()
 		trainData := &svmrank.Dataset{}
 		testData := &svmrank.Dataset{}
 		for _, e := range set.Data.Examples {
+			if keep != nil && !keep(e.Query) {
+				continue
+			}
 			if familyOf(e.Query) == name {
 				testData.Add(e)
 			} else {

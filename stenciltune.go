@@ -61,6 +61,11 @@ import (
 type (
 	// Kernel is the static stencil description k = (shape, buffers, dtype).
 	Kernel = stencil.Kernel
+	// DataType is the element type of a stencil's buffers. It is not just a
+	// feature-vector bit: Measure-mode evaluation, benchmarking and the
+	// serving measure path execute Float32 stencils in genuine single
+	// precision (float32 workspaces and arithmetic).
+	DataType = stencil.DataType
 	// Size is a grid extent; use Size2D/Size3D to build one.
 	Size = stencil.Size
 	// Instance is a kernel paired with an input size — the unit the tuner
@@ -79,6 +84,12 @@ type (
 	SearchEngine = search.Engine
 	// BatchObjective is the batched evaluation hook of SearchEngine.SearchBatch.
 	BatchObjective = search.BatchObjective
+)
+
+// Supported buffer element types (the two values of DataType).
+const (
+	Float32 = stencil.Float32
+	Float64 = stencil.Float64
 )
 
 // Size constructors and benchmark kernels re-exported from the model layer.
@@ -151,7 +162,10 @@ func (e measuredEvaluator) Close() { e.m.Close() }
 
 // Measured returns an evaluator that runs stencils for real and reports
 // wall-clock seconds. Evaluations are orders of magnitude slower than
-// Simulate; prefer it for final validation runs.
+// Simulate; prefer it for final validation runs. Execution is precision-true:
+// a kernel declaring Float32 is run on float32 buffers with float32
+// arithmetic, so single-precision stencils observe their real (roughly
+// doubled) effective memory bandwidth.
 //
 // The executor keeps a persistent worker pool and a cache of compiled
 // execution plans, so repeated measurements of the same instance are
