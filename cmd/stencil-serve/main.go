@@ -1,7 +1,9 @@
 // Command stencil-serve is the tuning-as-a-service daemon: it loads trained
 // ranking models from a persistent store directory (written by
 // stencil-train -save) and serves tuning, ranking and prediction over an
-// HTTP JSON API with response caching and request coalescing.
+// HTTP JSON API with response caching, request coalescing and a production
+// hardening chain — panic isolation, per-client rate limiting, request-size
+// caps, measure-mode admission control and liveness/readiness probes.
 //
 // Usage:
 //
@@ -10,7 +12,8 @@
 //	curl -X POST -d '{"kernel":"laplacian","size":"128x128x128"}' localhost:8080/v1/tune
 //
 // Endpoints: POST /v1/tune, /v1/rank, /v1/predict; GET /v1/models, /healthz,
-// /metrics. See the README's "Serving tuned models" section for the schema.
+// /readyz, /metrics. See the README's "Serving tuned models" and "Operating
+// under load" sections for the schema and the overload semantics.
 package main
 
 import (
@@ -19,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -26,19 +30,46 @@ import (
 	"time"
 
 	"repro/internal/buildinfo"
+	"repro/internal/middleware"
 	"repro/internal/server"
 )
+
+// options carries the parsed flags plus the hooks the graceful-shutdown
+// test injects (ready reports the bound address, signals replaces the OS
+// signal feed, onClosed observes the Close audit chain).
+type options struct {
+	models       string
+	addr         string
+	cacheSize    int
+	workers      int
+	timeout      time.Duration
+	drain        time.Duration
+	maxBody      int64
+	measureQueue int
+	rateLimit    float64
+	rateBurst    int
+
+	logger   *log.Logger
+	ready    chan<- net.Addr
+	signals  <-chan os.Signal
+	onClosed func()
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("stencil-serve: ")
 
-	models := flag.String("models", "models", "model store directory (written by stencil-train -save)")
-	addr := flag.String("addr", ":8080", "listen address")
-	cacheSize := flag.Int("cache", 4096, "response cache capacity in entries (sharded LRU)")
-	workers := flag.Int("workers", -1, "evaluation workers per request for hybrid/predict (-1 = all cores, 1 = sequential)")
-	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout; expiry cancels the request context and stops evaluation work")
-	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown budget for draining in-flight requests")
+	var opts options
+	flag.StringVar(&opts.models, "models", "models", "model store directory (written by stencil-train -save)")
+	flag.StringVar(&opts.addr, "addr", ":8080", "listen address")
+	flag.IntVar(&opts.cacheSize, "cache", 4096, "response cache capacity in entries (sharded LRU)")
+	flag.IntVar(&opts.workers, "workers", -1, "evaluation workers per request for hybrid/predict (-1 = all cores, 1 = sequential)")
+	flag.DurationVar(&opts.timeout, "timeout", 30*time.Second, "per-request timeout; expiry cancels the request context and stops evaluation work")
+	flag.DurationVar(&opts.drain, "drain", 10*time.Second, "graceful-shutdown budget for draining in-flight requests")
+	flag.Int64Var(&opts.maxBody, "max-body", 16<<20, "request body size cap in bytes; over-limit requests get 413")
+	flag.IntVar(&opts.measureQueue, "measure-queue", 8, "bounded queue depth for measure-mode requests; arrivals past it are shed with 503")
+	flag.Float64Var(&opts.rateLimit, "rate-limit", 0, "per-client request rate limit in req/s (keyed by X-Client-ID or remote host; 0 = unlimited)")
+	flag.IntVar(&opts.rateBurst, "rate-burst", 10, "token-bucket burst capacity per client when -rate-limit is set")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
@@ -46,40 +77,89 @@ func main() {
 		fmt.Println(buildinfo.Read())
 		return
 	}
-
-	s, err := server.New(server.Config{ModelDir: *models, CacheSize: *cacheSize, Workers: *workers})
-	if err != nil {
+	if err := run(opts); err != nil {
 		log.Fatal(err)
+	}
+}
+
+// run builds the hardened handler stack, serves until a shutdown signal or
+// listener error, then drains and releases the Close audit chain. It is
+// main minus flag parsing, so the shutdown tests drive it directly.
+func run(opts options) error {
+	logger := opts.logger
+	if logger == nil {
+		logger = log.Default()
+	}
+
+	s, err := server.New(server.Config{
+		ModelDir:          opts.models,
+		CacheSize:         opts.cacheSize,
+		Workers:           opts.workers,
+		MaxBodyBytes:      opts.maxBody,
+		MeasureQueueDepth: opts.measureQueue,
+	})
+	if err != nil {
+		return err
 	}
 	names, def := s.Models()
-	log.Printf("loaded %d model(s) from %s: %v (default %q)", len(names), *models, names, def)
+	logger.Printf("loaded %d model(s) from %s: %v (default %q)", len(names), opts.models, names, def)
 
+	// Innermost: the API mux under the request timeout, with the JSON
+	// content-type defaulter repairing TimeoutHandler's bare error body.
 	handler := http.Handler(s.Handler())
-	if *timeout > 0 {
-		handler = http.TimeoutHandler(handler, *timeout, `{"error":"request timed out"}`)
+	if opts.timeout > 0 {
+		handler = middleware.JSONContentType()(
+			http.TimeoutHandler(handler, opts.timeout, `{"error":"request timed out"}`))
 	}
-	srv := &http.Server{Addr: *addr, Handler: handler}
+	// Outermost to innermost: correlation IDs on everything (panic logs
+	// included), panic isolation above all request logic, rate limiting
+	// before any body handling, then the size cap.
+	limiter := middleware.NewRateLimiter(opts.rateLimit, opts.rateBurst, s.Metrics())
+	handler = middleware.Chain(handler,
+		middleware.RequestID(),
+		middleware.Recover(logger, s.Metrics()),
+		limiter.Middleware(),
+		middleware.MaxBytes(opts.maxBody, s.Metrics()),
+	)
 
+	ln, err := net.Listen("tcp", opts.addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: handler}
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("%s listening on %s", buildinfo.Read(), *addr)
+	go func() { errc <- srv.Serve(ln) }()
+	logger.Printf("%s listening on %s", buildinfo.Read(), ln.Addr())
+	if opts.ready != nil {
+		opts.ready <- ln.Addr()
+	}
 
-	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	sigc := opts.signals
+	if sigc == nil {
+		c := make(chan os.Signal, 1)
+		signal.Notify(c, os.Interrupt, syscall.SIGTERM)
+		sigc = c
+	}
 	select {
 	case err := <-errc:
-		log.Fatal(err)
+		return err
 	case sig := <-sigc:
-		log.Printf("received %v, draining in-flight requests (up to %v)", sig, *drain)
+		logger.Printf("received %v, draining in-flight requests (up to %v)", sig, opts.drain)
 	}
 
-	// Drain in-flight tunes, then release the Close audit chain (the
-	// measuring executor's worker pool, when it ever started).
-	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	// Drain: flip /readyz so balancers stop routing here, stop accepting,
+	// finish in-flight tunes, then release the Close audit chain (the
+	// measuring executor's worker pool, when it ever started) exactly once.
+	s.StartDraining()
+	ctx, cancel := context.WithTimeout(context.Background(), opts.drain)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("shutdown: %v", err)
+		logger.Printf("shutdown: %v", err)
 	}
 	s.Close()
-	log.Printf("drained; bye")
+	if opts.onClosed != nil {
+		opts.onClosed()
+	}
+	logger.Printf("drained; bye")
+	return nil
 }

@@ -1,0 +1,202 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+)
+
+const fixtureModelDir = "../../internal/store/testdata"
+
+// startRun launches run() with test hooks and returns the bound address,
+// the signal injector, the Close-audit counter and the run result channel.
+func startRun(t *testing.T, opts options) (net.Addr, chan<- os.Signal, *atomic.Int64, <-chan error) {
+	t.Helper()
+	ready := make(chan net.Addr, 1)
+	signals := make(chan os.Signal, 1)
+	var closed atomic.Int64
+	opts.ready = ready
+	opts.signals = signals
+	opts.logger = log.New(io.Discard, "", 0)
+	opts.onClosed = func() { closed.Add(1) }
+	done := make(chan error, 1)
+	go func() { done <- run(opts) }()
+	select {
+	case addr := <-ready:
+		return addr, signals, &closed, done
+	case err := <-done:
+		t.Fatalf("run exited before serving: %v", err)
+		return nil, nil, nil, nil
+	}
+}
+
+func serveOpts() options {
+	return options{
+		models:       fixtureModelDir,
+		addr:         "127.0.0.1:0",
+		cacheSize:    64,
+		workers:      1,
+		timeout:      10 * time.Second,
+		drain:        10 * time.Second,
+		maxBody:      1 << 20,
+		measureQueue: 2,
+	}
+}
+
+// TestGracefulShutdown exercises the full SIGTERM choreography with a
+// deterministically in-flight request: a tune whose body arrives in two
+// halves, the second only after the shutdown signal. The request must
+// complete with a 200 during the drain window, new connections must be
+// refused once draining starts, and the Close audit chain must run exactly
+// once.
+func TestGracefulShutdown(t *testing.T) {
+	addr, signals, closed, done := startRun(t, serveOpts())
+	base := "http://" + addr.String()
+
+	// Sanity: the stack serves normal traffic before shutdown.
+	resp, err := http.Post(base+"/v1/tune", "application/json",
+		strings.NewReader(`{"model":"tiny","kernel":"laplacian","size":"96x96x96"}`))
+	if err != nil {
+		t.Fatalf("tune before shutdown: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tune before shutdown: status %d", resp.StatusCode)
+	}
+
+	// Park a request in-flight: send the headers and half the body over a
+	// raw connection, so the handler is blocked reading the rest.
+	body := `{"model":"tiny","kernel":"laplacian","size":"97x97x97"}`
+	half := len(body) / 2
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "POST /v1/tune HTTP/1.1\r\nHost: %s\r\nContent-Type: application/json\r\nContent-Length: %d\r\n\r\n%s",
+		addr.String(), len(body), body[:half])
+	time.Sleep(50 * time.Millisecond) // let the server accept and start reading
+
+	signals <- syscall.SIGTERM
+
+	// New connections are refused once the listener closes. (Shutdown
+	// closes listeners first, then waits out in-flight requests.)
+	refused := false
+	for deadline := time.Now().Add(3 * time.Second); time.Now().Before(deadline); {
+		c, err := net.DialTimeout("tcp", addr.String(), 200*time.Millisecond)
+		if err != nil {
+			refused = true
+			break
+		}
+		c.Close()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !refused {
+		t.Error("new connections still accepted 3s after SIGTERM")
+	}
+	select {
+	case err := <-done:
+		t.Fatalf("run returned %v with a request still in flight — drain did not wait", err)
+	default:
+	}
+
+	// Complete the parked request; it must finish with a real 200 inside
+	// the drain window.
+	if _, err := io.WriteString(conn, body[half:]); err != nil {
+		t.Fatalf("completing in-flight body: %v", err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	reply, err := io.ReadAll(conn)
+	if err != nil && len(reply) == 0 {
+		t.Fatalf("reading in-flight response: %v", err)
+	}
+	if !strings.HasPrefix(string(reply), "HTTP/1.1 200") {
+		t.Fatalf("in-flight request during drain got %.80q, want HTTP/1.1 200", reply)
+	}
+	if !strings.Contains(string(reply), `"best"`) {
+		t.Errorf("in-flight response lacks a tuning result: %.200q", reply)
+	}
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after graceful shutdown, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not return after the drained request completed")
+	}
+	if got := closed.Load(); got != 1 {
+		t.Errorf("Close audit chain ran %d times, want exactly 1", got)
+	}
+}
+
+// TestShutdownIdleFast: with no traffic in flight, SIGTERM must land a
+// clean exit well inside the drain budget, and still run Close once.
+func TestShutdownIdleFast(t *testing.T) {
+	_, signals, closed, done := startRun(t, serveOpts())
+	start := time.Now()
+	signals <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("idle shutdown took longer than 5s")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Errorf("idle shutdown took %v, want well under the 10s drain budget", elapsed)
+	}
+	if got := closed.Load(); got != 1 {
+		t.Errorf("Close audit chain ran %d times, want exactly 1", got)
+	}
+}
+
+// TestRunRejectsMissingModelDir: startup failures surface as errors, not
+// a half-started server.
+func TestRunRejectsMissingModelDir(t *testing.T) {
+	opts := serveOpts()
+	opts.models = "no-such-dir"
+	opts.logger = log.New(io.Discard, "", 0)
+	if err := run(opts); err == nil {
+		t.Fatal("run with a missing model dir returned nil")
+	}
+}
+
+// TestTimeoutBodyIsJSONOverRealBinaryStack verifies satellite (b) in the
+// deployed wiring, not just the middleware unit test: a request that
+// outlives -timeout gets a 503 with Content-Type application/json and a
+// parseable body.
+func TestTimeoutBodyIsJSONOverRealBinaryStack(t *testing.T) {
+	opts := serveOpts()
+	opts.timeout = 100 * time.Millisecond
+	addr, signals, _, done := startRun(t, opts)
+	defer func() { signals <- syscall.SIGTERM; <-done }()
+
+	// A measure-mode predict on a large grid comfortably outlives 100ms.
+	resp, err := http.Post("http://"+addr.String()+"/v1/predict", "application/json",
+		strings.NewReader(`{"model":"tiny","kernel":"laplacian","size":"192x192x192","mode":"measure","vectors":[{"bx":32,"by":4,"bz":4,"u":1,"c":2},{"bx":16,"by":8,"bz":4,"u":2,"c":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Skipf("request finished with %d before the timeout fired on this machine", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("timeout response Content-Type = %q, want application/json", ct)
+	}
+	if !strings.Contains(string(b), `"error"`) {
+		t.Errorf("timeout body %q is not the JSON error payload", b)
+	}
+}

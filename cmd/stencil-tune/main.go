@@ -4,21 +4,30 @@
 // vector. With -topk it additionally measures the top-k candidates and picks
 // the best (the paper's future-work hybrid mode).
 //
+// With -server it skips all local model work and asks a running
+// stencil-serve instance instead, through the retrying client (per-attempt
+// timeouts, capped backoff with jitter, Retry-After honored), so a fleet of
+// tuners can share one trained model and its response cache.
+//
 // Usage:
 //
 //	stencil-tune -kernel laplacian -size 128x128x128 [-model model.gob] [-topk 8]
+//	stencil-tune -kernel laplacian -size 128x128x128 -server http://127.0.0.1:8080
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	stenciltune "repro"
 	"repro/internal/buildinfo"
+	"repro/internal/client"
 	"repro/internal/dsl"
 )
 
@@ -40,6 +49,45 @@ func kernelFromDSL(path, name string) (*stenciltune.Kernel, error) {
 		}
 	}
 	return defs[0].Kernel(), nil
+}
+
+// tuneViaServer routes the tune through a stencil-serve instance via the
+// retrying client. A DSL file is shipped inline so the server parses it
+// with the same parser the local path uses; -kernel still selects the
+// definition by name inside it.
+func tuneViaServer(baseURL, clientID string, timeout time.Duration, kernelName, dslPath, size, model string, topk int, mode string) error {
+	spec := client.NamedKernel(kernelName)
+	if dslPath != "" {
+		src, err := os.ReadFile(dslPath)
+		if err != nil {
+			return err
+		}
+		spec.DSL = string(src)
+	}
+	c, err := client.New(client.Config{BaseURL: baseURL, ClientID: clientID})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+
+	resp, err := c.Tune(ctx, client.TuneRequest{
+		Model: model, Kernel: spec, Size: size, TopK: topk, Mode: mode,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: tuned by %s with model %q (cache %s, %d attempts)\n",
+		resp.Instance, baseURL, resp.Model, resp.Cache, c.Attempts())
+	fmt.Printf("ranked %d configurations in %v\n",
+		resp.RankedCandidates, time.Duration(resp.RankMicros)*time.Microsecond)
+	fmt.Printf("top-ranked tuning: {bx:%d by:%d bz:%d u:%d c:%d}\n",
+		resp.Best.Bx, resp.Best.By, resp.Best.Bz, resp.Best.U, resp.Best.C)
+	if h := resp.Hybrid; h != nil {
+		fmt.Printf("hybrid top-%d tuning (%s): {bx:%d by:%d bz:%d u:%d c:%d} (%.6f s)\n",
+			h.TopK, h.Mode, h.Best.Bx, h.Best.By, h.Best.Bz, h.Best.U, h.Best.C, h.BestValue)
+	}
+	return nil
 }
 
 func parseSize(s string) (stenciltune.Size, error) {
@@ -75,11 +123,22 @@ func main() {
 	topk := flag.Int("topk", 0, "hybrid mode: additionally evaluate the top-k ranked candidates and pick the measured best")
 	mode := flag.String("mode", "sim", "evaluation substrate for -topk and reporting: sim or measure")
 	workers := flag.Int("workers", -1, "concurrent evaluations for fresh training and -topk (-1 = all cores, 1 = sequential); results are identical for any value")
+	serverURL := flag.String("server", "", "tune through a running stencil-serve instance at this base URL instead of locally; -model then names a server-side model (empty = server default), and -points/-seed/-workers are ignored")
+	clientID := flag.String("client-id", "", "stable identity sent as X-Client-ID for the server's per-client rate limiter (default: the remote address)")
+	serverTimeout := flag.Duration("server-timeout", 2*time.Minute, "overall deadline for the -server call, retries included")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
 	if *version {
 		fmt.Println(buildinfo.Read())
+		return
+	}
+
+	if *serverURL != "" {
+		if err := tuneViaServer(*serverURL, *clientID, *serverTimeout,
+			*kernelName, *dslPath, *sizeStr, *modelPath, *topk, *mode); err != nil {
+			log.Fatal(err)
+		}
 		return
 	}
 

@@ -1,0 +1,388 @@
+// Package client is the typed Go client for the stencil-serve tuning API
+// (/v1/tune, /v1/rank, /v1/predict, /v1/models) with the retry discipline a
+// production caller needs: per-attempt timeouts, capped exponential backoff
+// with full jitter, honoring the server's Retry-After hints, and retrying
+// only failures that are safe and useful to retry — 429 rate sheds, 503
+// queue sheds, other 5xx, and transport errors (connection reset, refused,
+// EOF). Every tuning endpoint is idempotent (same request, same answer, no
+// server-side state mutated), so retrying a request whose response was lost
+// is always safe; a definitive 4xx is the caller's bug and is returned
+// immediately, never retried.
+//
+// The zero backoff policy (100ms base doubling to a 5s cap, full jitter)
+// keeps a retrying fleet from synchronizing into thundering herds: each
+// client waits a uniformly random fraction of the current cap, which is the
+// textbook full-jitter scheme, and a server-provided Retry-After raises the
+// floor so shed traffic really does come back later, not sooner.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config shapes a Client; the zero value plus BaseURL is production-ready.
+type Config struct {
+	// BaseURL locates the server, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// ClientID is sent as X-Client-ID so the server's per-client rate
+	// limiter keys on a stable identity instead of an ephemeral address.
+	ClientID string
+	// HTTPClient overrides the transport (default http.DefaultClient; the
+	// per-attempt timeout is applied via context either way).
+	HTTPClient *http.Client
+	// MaxAttempts bounds total tries per call, first attempt included
+	// (default 5). The bound is what keeps retries from being unbounded
+	// under a persistent fault.
+	MaxAttempts int
+	// PerAttemptTimeout bounds each individual attempt (default 30s) so a
+	// hung connection costs one backoff step, not the whole call.
+	PerAttemptTimeout time.Duration
+	// BaseBackoff and MaxBackoff shape the exponential schedule (defaults
+	// 100ms and 5s). Attempt n waits uniform(0, min(MaxBackoff,
+	// BaseBackoff*2^n)), raised to any server Retry-After.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Seed, when non-zero, makes the jitter deterministic — the resilience
+	// tests replay exact retry schedules.
+	Seed int64
+}
+
+// Client calls the tuning service. Safe for concurrent use.
+type Client struct {
+	cfg Config
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	attempts atomic.Int64
+	retries  atomic.Int64
+}
+
+// New validates cfg, fills defaults and returns a ready client.
+func New(cfg Config) (*Client, error) {
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("client: BaseURL is required")
+	}
+	cfg.BaseURL = strings.TrimRight(cfg.BaseURL, "/")
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = http.DefaultClient
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 5
+	}
+	if cfg.PerAttemptTimeout <= 0 {
+		cfg.PerAttemptTimeout = 30 * time.Second
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 100 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 5 * time.Second
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &Client{cfg: cfg, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Attempts reports total HTTP attempts issued; Retries reports how many of
+// them were re-tries. The resilience suite asserts retries stay bounded.
+func (c *Client) Attempts() int64 { return c.attempts.Load() }
+func (c *Client) Retries() int64  { return c.retries.Load() }
+
+// ---------------------------------------------------------------------------
+// Wire types (mirrors of the server's JSON schema)
+
+// Vector is a tuning vector on the wire; Bz may stay 0 for 2-D stencils.
+type Vector struct {
+	Bx int `json:"bx"`
+	By int `json:"by"`
+	Bz int `json:"bz,omitempty"`
+	U  int `json:"u"`
+	C  int `json:"c"`
+}
+
+// Kernel selects the stencil: a Table III benchmark name, an inline DSL
+// source, or an explicit offset list with buffer count and dtype.
+type Kernel struct {
+	Name    string  `json:"name,omitempty"`
+	DSL     string  `json:"dsl,omitempty"`
+	Offsets [][]int `json:"offsets,omitempty"`
+	Buffers int     `json:"buffers,omitempty"`
+	DType   string  `json:"dtype,omitempty"`
+}
+
+// NamedKernel is shorthand for a benchmark-name kernel spec.
+func NamedKernel(name string) Kernel { return Kernel{Name: name} }
+
+type TuneRequest struct {
+	Model  string `json:"model,omitempty"`
+	Kernel Kernel `json:"kernel"`
+	Size   string `json:"size"`
+	TopK   int    `json:"topk,omitempty"`
+	Mode   string `json:"mode,omitempty"`
+}
+
+type HybridResult struct {
+	TopK      int     `json:"topk"`
+	Mode      string  `json:"mode"`
+	Best      Vector  `json:"best"`
+	BestValue float64 `json:"best_value_seconds"`
+}
+
+type TuneResponse struct {
+	Model            string        `json:"model"`
+	Instance         string        `json:"instance"`
+	Best             Vector        `json:"best"`
+	RankedCandidates int           `json:"ranked_candidates"`
+	RankMicros       int64         `json:"rank_micros"`
+	Hybrid           *HybridResult `json:"hybrid,omitempty"`
+	// Cache reports the server's X-Cache verdict: hit, miss or coalesced.
+	Cache string `json:"-"`
+}
+
+type RankRequest struct {
+	Model        string   `json:"model,omitempty"`
+	Kernel       Kernel   `json:"kernel"`
+	Size         string   `json:"size"`
+	Candidates   []Vector `json:"candidates,omitempty"`
+	ReturnScores bool     `json:"return_scores,omitempty"`
+}
+
+type RankResponse struct {
+	Model      string    `json:"model"`
+	Instance   string    `json:"instance"`
+	Candidates int       `json:"candidates"`
+	Order      []int     `json:"order"`
+	Best       Vector    `json:"best"`
+	Scores     []float64 `json:"scores,omitempty"`
+	Cache      string    `json:"-"`
+}
+
+type PredictRequest struct {
+	Model   string   `json:"model,omitempty"`
+	Kernel  Kernel   `json:"kernel"`
+	Size    string   `json:"size"`
+	Vectors []Vector `json:"vectors"`
+	Mode    string   `json:"mode,omitempty"`
+}
+
+type PredictResponse struct {
+	Model    string    `json:"model"`
+	Instance string    `json:"instance"`
+	Mode     string    `json:"mode"`
+	Unit     string    `json:"unit"`
+	Values   []float64 `json:"values"`
+	Cache    string    `json:"-"`
+}
+
+type ModelInfo struct {
+	Name        string `json:"name"`
+	ContentHash string `json:"content_hash"`
+	FeatureDim  int    `json:"feature_dim"`
+	Machine     string `json:"machine,omitempty"`
+}
+
+type ModelsResponse struct {
+	Default string      `json:"default"`
+	Models  []ModelInfo `json:"models"`
+}
+
+// APIError is a definitive (non-retried or retries-exhausted) server error.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server returned %d: %s", e.StatusCode, e.Message)
+}
+
+// Retryable reports whether the status is worth retrying: rate sheds,
+// queue sheds and transient server faults — never other 4xx, which mean
+// the request itself is wrong and will fail identically forever.
+func (e *APIError) Retryable() bool {
+	return e.StatusCode == http.StatusTooManyRequests || e.StatusCode >= 500
+}
+
+// ---------------------------------------------------------------------------
+// Calls
+
+// Tune asks the server for the best tuning vector for a stencil instance.
+func (c *Client) Tune(ctx context.Context, req TuneRequest) (*TuneResponse, error) {
+	var out TuneResponse
+	cache, err := c.call(ctx, "/v1/tune", req, &out)
+	out.Cache = cache
+	return &out, err
+}
+
+// Rank orders a candidate set (or the predefined one) best-first.
+func (c *Client) Rank(ctx context.Context, req RankRequest) (*RankResponse, error) {
+	var out RankResponse
+	cache, err := c.call(ctx, "/v1/rank", req, &out)
+	out.Cache = cache
+	return &out, err
+}
+
+// Predict returns per-vector runtimes or scores.
+func (c *Client) Predict(ctx context.Context, req PredictRequest) (*PredictResponse, error) {
+	var out PredictResponse
+	cache, err := c.call(ctx, "/v1/predict", req, &out)
+	out.Cache = cache
+	return &out, err
+}
+
+// Models lists the models the server loaded.
+func (c *Client) Models(ctx context.Context) (*ModelsResponse, error) {
+	var out ModelsResponse
+	_, err := c.call(ctx, "/v1/models", nil, &out)
+	return &out, err
+}
+
+// call runs one API call through the retry loop. body == nil issues a GET.
+func (c *Client) call(ctx context.Context, path string, body any, out any) (cache string, err error) {
+	var payload []byte
+	if body != nil {
+		if payload, err = json.Marshal(body); err != nil {
+			return "", fmt.Errorf("client: encoding request: %v", err)
+		}
+	}
+
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+			if err := c.sleep(ctx, c.backoff(attempt, lastErr)); err != nil {
+				return "", err
+			}
+		}
+		cache, retry, err := c.attempt(ctx, path, payload, out)
+		if err == nil {
+			return cache, nil
+		}
+		if ctx.Err() != nil {
+			return "", ctx.Err()
+		}
+		if !retry {
+			return "", err
+		}
+		lastErr = err
+	}
+	return "", fmt.Errorf("client: giving up after %d attempts: %w", c.cfg.MaxAttempts, lastErr)
+}
+
+// attempt issues a single HTTP exchange under its own timeout and reports
+// whether a failure is retryable.
+func (c *Client) attempt(ctx context.Context, path string, payload []byte, out any) (cache string, retry bool, err error) {
+	c.attempts.Add(1)
+	actx, cancel := context.WithTimeout(ctx, c.cfg.PerAttemptTimeout)
+	defer cancel()
+
+	method := http.MethodGet
+	var body io.Reader
+	if payload != nil {
+		method = http.MethodPost
+		body = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(actx, method, c.cfg.BaseURL+path, body)
+	if err != nil {
+		return "", false, fmt.Errorf("client: building request: %v", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if c.cfg.ClientID != "" {
+		req.Header.Set("X-Client-ID", c.cfg.ClientID)
+	}
+
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		// Transport-level failure: connection refused/reset, injected
+		// drop, per-attempt timeout. All retryable — the endpoints are
+		// idempotent, so a request whose response was lost can be safely
+		// re-issued.
+		return "", true, fmt.Errorf("client: %v", err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return "", true, fmt.Errorf("client: reading response: %v", err)
+	}
+
+	if resp.StatusCode != http.StatusOK {
+		apiErr := &APIError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(b))}
+		var decoded struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(b, &decoded) == nil && decoded.Error != "" {
+			apiErr.Message = decoded.Error
+		}
+		return "", apiErr.Retryable(), c.rememberRetryAfter(apiErr, resp)
+	}
+	if err := json.Unmarshal(b, out); err != nil {
+		return "", true, fmt.Errorf("client: undecodable 200 response %q: %v", b, err)
+	}
+	return resp.Header.Get("X-Cache"), false, nil
+}
+
+// retryAfterError wraps an APIError with the server's Retry-After hint so
+// the backoff schedule can honor it.
+type retryAfterError struct {
+	*APIError
+	after time.Duration
+}
+
+func (e *retryAfterError) Unwrap() error { return e.APIError }
+
+func (c *Client) rememberRetryAfter(apiErr *APIError, resp *http.Response) error {
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+			return &retryAfterError{APIError: apiErr, after: time.Duration(secs) * time.Second}
+		}
+	}
+	return apiErr
+}
+
+// backoff computes the wait before retry number attempt (1-based): full
+// jitter over the capped exponential schedule, floored at any Retry-After
+// the server sent with the previous failure.
+func (c *Client) backoff(attempt int, lastErr error) time.Duration {
+	ceil := c.cfg.BaseBackoff << (attempt - 1)
+	if ceil > c.cfg.MaxBackoff || ceil <= 0 {
+		ceil = c.cfg.MaxBackoff
+	}
+	c.rngMu.Lock()
+	wait := time.Duration(c.rng.Float64() * float64(ceil))
+	c.rngMu.Unlock()
+	var rae *retryAfterError
+	if errors.As(lastErr, &rae) && rae.after > wait {
+		wait = rae.after
+	}
+	return wait
+}
+
+// sleep waits d unless ctx ends first.
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,271 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+func fastCfg(url string) Config {
+	return Config{
+		BaseURL:           url,
+		MaxAttempts:       4,
+		PerAttemptTimeout: 2 * time.Second,
+		BaseBackoff:       time.Millisecond,
+		MaxBackoff:        5 * time.Millisecond,
+		Seed:              1,
+	}
+}
+
+func mustClient(t *testing.T, cfg Config) *Client {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestRetriesTransientThenSucceeds(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			http.Error(w, `{"error":"queue full"}`, http.StatusServiceUnavailable)
+		case 2:
+			panic(http.ErrAbortHandler) // dropped connection
+		default:
+			w.Write([]byte(`{"model":"m","instance":"i","best":{"bx":32,"by":4,"bz":4,"u":1,"c":2}}`))
+		}
+	}))
+	defer ts.Close()
+
+	c := mustClient(t, fastCfg(ts.URL))
+	resp, err := c.Tune(context.Background(), TuneRequest{Kernel: NamedKernel("laplacian"), Size: "64x64x64"})
+	if err != nil {
+		t.Fatalf("Tune through transient faults: %v", err)
+	}
+	if resp.Best != (Vector{Bx: 32, By: 4, Bz: 4, U: 1, C: 2}) {
+		t.Errorf("decoded best = %+v", resp.Best)
+	}
+	if got := c.Attempts(); got != 3 {
+		t.Errorf("attempts = %d, want 3 (503, drop, success)", got)
+	}
+}
+
+func TestNeverRetriesDefinitive4xx(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"kernel needs a name, dsl or offsets"}`, http.StatusBadRequest)
+	}))
+	defer ts.Close()
+
+	c := mustClient(t, fastCfg(ts.URL))
+	_, err := c.Tune(context.Background(), TuneRequest{Size: "64x64x64"})
+	apiErr, ok := err.(*APIError)
+	if !ok {
+		t.Fatalf("error = %v (%T), want *APIError", err, err)
+	}
+	if apiErr.StatusCode != http.StatusBadRequest || apiErr.Retryable() {
+		t.Errorf("APIError = %+v, want non-retryable 400", apiErr)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d calls for a 400, want exactly 1 (no retries)", got)
+	}
+}
+
+func TestBoundedRetriesOnPersistentFault(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"boom"}`, http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	c := mustClient(t, fastCfg(ts.URL))
+	_, err := c.Tune(context.Background(), TuneRequest{Kernel: NamedKernel("blur"), Size: "64x64"})
+	if err == nil {
+		t.Fatal("persistent 500 produced no error")
+	}
+	if got := calls.Load(); got != 4 {
+		t.Errorf("server saw %d calls, want exactly MaxAttempts=4", got)
+	}
+	if got := c.Retries(); got != 3 {
+		t.Errorf("retries = %d, want 3", got)
+	}
+}
+
+func TestHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"rate limit exceeded"}`, http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{"model":"m","instance":"i","best":{"bx":1,"by":1,"u":0,"c":1}}`))
+	}))
+	defer ts.Close()
+
+	c := mustClient(t, fastCfg(ts.URL)) // jitter cap 5ms << the 1s hint
+	start := time.Now()
+	if _, err := c.Tune(context.Background(), TuneRequest{Kernel: NamedKernel("blur"), Size: "64x64"}); err != nil {
+		t.Fatalf("Tune after 429: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
+		t.Errorf("retried after %v, want >= ~1s per Retry-After", elapsed)
+	}
+}
+
+func TestPerAttemptTimeoutRecovers(t *testing.T) {
+	var calls atomic.Int64
+	hang := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			select { // hang well past the per-attempt timeout
+			case <-r.Context().Done():
+			case <-hang:
+			}
+			return
+		}
+		w.Write([]byte(`{"model":"m","instance":"i","best":{"bx":1,"by":1,"u":0,"c":1}}`))
+	}))
+	defer ts.Close()
+	// LIFO: the stuck handler must unblock before ts.Close drains it.
+	defer close(hang)
+
+	cfg := fastCfg(ts.URL)
+	cfg.PerAttemptTimeout = 50 * time.Millisecond
+	c := mustClient(t, cfg)
+	if _, err := c.Tune(context.Background(), TuneRequest{Kernel: NamedKernel("blur"), Size: "64x64"}); err != nil {
+		t.Fatalf("Tune through a hung first attempt: %v", err)
+	}
+	if got := c.Attempts(); got != 2 {
+		t.Errorf("attempts = %d, want 2 (timeout, success)", got)
+	}
+}
+
+func TestCallerContextCancelStopsRetrying(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"down"}`, http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	cfg := fastCfg(ts.URL)
+	cfg.MaxAttempts = 1000
+	cfg.BaseBackoff = 20 * time.Millisecond
+	cfg.MaxBackoff = 50 * time.Millisecond
+	c := mustClient(t, cfg)
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Tune(ctx, TuneRequest{Kernel: NamedKernel("blur"), Size: "64x64"})
+	if err == nil || ctx.Err() == nil {
+		t.Fatalf("err = %v, want failure once the caller context expired", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("retry loop ran %v past a 100ms caller deadline", elapsed)
+	}
+	if got := c.Attempts(); got >= 1000 {
+		t.Errorf("attempts = %d, retry loop ignored the caller context", got)
+	}
+}
+
+// TestAgainstRealServer is the wire-compatibility test: the typed request
+// and response structs must round-trip against the actual server handler,
+// not a scripted double.
+func TestAgainstRealServer(t *testing.T) {
+	s, err := server.New(server.Config{ModelDir: "../store/testdata"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	c := mustClient(t, fastCfg(ts.URL))
+	ctx := context.Background()
+
+	tune, err := c.Tune(ctx, TuneRequest{Model: "tiny", Kernel: NamedKernel("laplacian"), Size: "100x100x100"})
+	if err != nil {
+		t.Fatalf("Tune: %v", err)
+	}
+	if tune.Best.Bx <= 0 || tune.RankedCandidates <= 0 || tune.Instance == "" {
+		t.Errorf("tune response incompletely decoded: %+v", tune)
+	}
+	if tune.Cache != "miss" {
+		t.Errorf("first tune X-Cache = %q, want miss", tune.Cache)
+	}
+	if again, _ := c.Tune(ctx, TuneRequest{Model: "tiny", Kernel: NamedKernel("laplacian"), Size: "100x100x100"}); again.Cache != "hit" {
+		t.Errorf("repeat tune X-Cache = %q, want hit", again.Cache)
+	}
+
+	cands := []Vector{{Bx: 32, By: 32, Bz: 4, U: 2, C: 2}, {Bx: 8, By: 512, Bz: 2, U: 0, C: 1}}
+	rank, err := c.Rank(ctx, RankRequest{Model: "tiny", Kernel: NamedKernel("laplacian"), Size: "128x128x128", Candidates: cands, ReturnScores: true})
+	if err != nil {
+		t.Fatalf("Rank: %v", err)
+	}
+	if len(rank.Order) != 2 || len(rank.Scores) != 2 {
+		t.Errorf("rank response incompletely decoded: %+v", rank)
+	}
+
+	pred, err := c.Predict(ctx, PredictRequest{Model: "tiny", Kernel: NamedKernel("laplacian"), Size: "128x128x128", Vectors: cands, Mode: "score"})
+	if err != nil {
+		t.Fatalf("Predict: %v", err)
+	}
+	if len(pred.Values) != 2 || pred.Unit != "score" {
+		t.Errorf("predict response incompletely decoded: %+v", pred)
+	}
+	for i, s := range rank.Scores {
+		if pred.Values[i] != s {
+			t.Errorf("score[%d]: rank %v != predict %v", i, s, pred.Values[i])
+		}
+	}
+
+	models, err := c.Models(ctx)
+	if err != nil {
+		t.Fatalf("Models: %v", err)
+	}
+	if models.Default != "tiny" || len(models.Models) != 1 || models.Models[0].ContentHash == "" {
+		t.Errorf("models response incompletely decoded: %+v", models)
+	}
+
+	// A malformed request is rejected definitively — no retry storm.
+	before := c.Attempts()
+	if _, err := c.Tune(ctx, TuneRequest{Kernel: NamedKernel("no-such-kernel"), Size: "64x64"}); err == nil {
+		t.Error("unknown kernel tuned successfully?")
+	} else if apiErr, ok := err.(*APIError); !ok || apiErr.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown kernel error = %v, want APIError 400", err)
+	}
+	if got := c.Attempts() - before; got != 1 {
+		t.Errorf("bad request cost %d attempts, want 1", got)
+	}
+}
+
+func TestBackoffCappedWithFullJitter(t *testing.T) {
+	c := mustClient(t, Config{BaseURL: "http://unused", BaseBackoff: 100 * time.Millisecond, MaxBackoff: time.Second, Seed: 42})
+	for attempt := 1; attempt <= 20; attempt++ {
+		for i := 0; i < 50; i++ {
+			d := c.backoff(attempt, fmt.Errorf("transient"))
+			ceil := c.cfg.BaseBackoff << (attempt - 1)
+			if ceil > c.cfg.MaxBackoff || ceil <= 0 {
+				ceil = c.cfg.MaxBackoff
+			}
+			if d < 0 || d > ceil {
+				t.Fatalf("backoff(attempt=%d) = %v outside [0, %v]", attempt, d, ceil)
+			}
+		}
+	}
+	// Retry-After floors the jitter.
+	rae := &retryAfterError{APIError: &APIError{StatusCode: 429}, after: 3 * time.Second}
+	if d := c.backoff(1, rae); d < 3*time.Second {
+		t.Errorf("backoff with Retry-After 3s = %v, want >= 3s", d)
+	}
+}

@@ -1,0 +1,200 @@
+// Package faultinject is the chaos layer of the resilience suite: an
+// httptest-grade reverse proxy that injects the failure modes a tuning
+// service meets in production — added latency, abrupt connection drops,
+// 5xx bursts and slow-loris response bodies — deterministically from a
+// seed, so a test that passes once passes always and a failure replays
+// exactly.
+//
+// The proxy wraps any http.Handler (typically server.Handler() behind the
+// middleware chain) and draws one fault decision per request from a seeded
+// PRNG guarded by a mutex: with concurrent clients the *assignment* of
+// faults to requests varies by arrival order, but the fault sequence
+// itself — and therefore the aggregate fault mix — is fixed by the seed.
+// Sequential tests (the retrying-client convergence test) are fully
+// deterministic end to end.
+//
+// The resilience tests assert the system's contract under this chaos: the
+// retrying client converges through a 30% fault rate in bounded attempts,
+// panics never kill the process, and shed load recovers to 200s.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config sets the injected fault mix. Rates are probabilities in [0, 1]
+// and are evaluated in order drop → error → slow body, one draw each, so
+// e.g. DropRate 0.1 and ErrorRate 0.3 yield ~10% drops and ~27% errors.
+type Config struct {
+	// Seed fixes the fault sequence (0 seeds from the clock, which is
+	// only sensible for exploratory runs, never for tests).
+	Seed int64
+	// Latency is added to every proxied request before any other fault,
+	// plus a uniform draw from [0, LatencyJitter).
+	Latency       time.Duration
+	LatencyJitter time.Duration
+	// DropRate aborts the connection mid-request with no response — the
+	// client sees a reset/EOF, the classic crashed-backend signature.
+	DropRate float64
+	// ErrorRate answers with ErrorCode (default 503) and a JSON error
+	// body instead of proxying — the injected 5xx burst.
+	ErrorRate float64
+	ErrorCode int
+	// SlowBodyRate dribbles the proxied response body out in single-byte
+	// chunks separated by SlowBodyDelay (default 1ms) — the slow-loris
+	// shape that ties up naive clients.
+	SlowBodyRate  float64
+	SlowBodyDelay time.Duration
+}
+
+// Proxy injects faults in front of next. Safe for concurrent use.
+type Proxy struct {
+	next http.Handler
+	cfg  Config
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	requests   atomic.Int64
+	drops      atomic.Int64
+	errors     atomic.Int64
+	slowBodies atomic.Int64
+}
+
+// New wraps next with a fault injector.
+func New(next http.Handler, cfg Config) *Proxy {
+	if cfg.Seed == 0 {
+		cfg.Seed = time.Now().UnixNano()
+	}
+	if cfg.ErrorCode == 0 {
+		cfg.ErrorCode = http.StatusServiceUnavailable
+	}
+	if cfg.SlowBodyDelay <= 0 {
+		cfg.SlowBodyDelay = time.Millisecond
+	}
+	return &Proxy{next: next, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Requests reports how many requests reached the proxy; Drops, Errors and
+// SlowBodies report how many suffered each injected fault. The resilience
+// suite uses Requests to bound total client attempts.
+func (p *Proxy) Requests() int64   { return p.requests.Load() }
+func (p *Proxy) Drops() int64      { return p.drops.Load() }
+func (p *Proxy) Errors() int64     { return p.errors.Load() }
+func (p *Proxy) SlowBodies() int64 { return p.slowBodies.Load() }
+
+// decision is one request's pre-drawn fate; all randomness happens in a
+// single critical section so the sequence is seed-deterministic.
+type decision struct {
+	latency  time.Duration
+	drop     bool
+	err      bool
+	slowBody bool
+}
+
+func (p *Proxy) draw() decision {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	d := decision{latency: p.cfg.Latency}
+	if p.cfg.LatencyJitter > 0 {
+		d.latency += time.Duration(p.rng.Float64() * float64(p.cfg.LatencyJitter))
+	}
+	switch {
+	case p.cfg.DropRate > 0 && p.rng.Float64() < p.cfg.DropRate:
+		d.drop = true
+	case p.cfg.ErrorRate > 0 && p.rng.Float64() < p.cfg.ErrorRate:
+		d.err = true
+	case p.cfg.SlowBodyRate > 0 && p.rng.Float64() < p.cfg.SlowBodyRate:
+		d.slowBody = true
+	}
+	return d
+}
+
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	p.requests.Add(1)
+	d := p.draw()
+	if d.latency > 0 {
+		select {
+		case <-time.After(d.latency):
+		case <-r.Context().Done():
+			return
+		}
+	}
+	switch {
+	case d.drop:
+		p.drops.Add(1)
+		// net/http's sanctioned abort: the connection closes with no
+		// response written, which clients observe as EOF/reset.
+		panic(http.ErrAbortHandler)
+	case d.err:
+		p.errors.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(p.cfg.ErrorCode)
+		fmt.Fprintf(w, "{\"error\":\"injected fault (%d)\"}\n", p.cfg.ErrorCode)
+	case d.slowBody:
+		p.slowBodies.Add(1)
+		rec := &bufferedResponse{header: make(http.Header)}
+		p.next.ServeHTTP(rec, r)
+		copyHeader(w.Header(), rec.header)
+		w.WriteHeader(rec.status())
+		for _, b := range rec.body {
+			if _, err := w.Write([]byte{b}); err != nil {
+				return
+			}
+			if f, ok := w.(http.Flusher); ok {
+				f.Flush()
+			}
+			select {
+			case <-time.After(p.cfg.SlowBodyDelay):
+			case <-r.Context().Done():
+				return
+			}
+		}
+	default:
+		p.next.ServeHTTP(w, r)
+	}
+}
+
+// bufferedResponse captures the inner handler's response so the proxy can
+// replay it slowly.
+type bufferedResponse struct {
+	header http.Header
+	code   int
+	body   []byte
+}
+
+func (b *bufferedResponse) Header() http.Header { return b.header }
+
+func (b *bufferedResponse) WriteHeader(code int) {
+	if b.code == 0 {
+		b.code = code
+	}
+}
+
+func (b *bufferedResponse) Write(p []byte) (int, error) {
+	if b.code == 0 {
+		b.code = http.StatusOK
+	}
+	b.body = append(b.body, p...)
+	return len(p), nil
+}
+
+func (b *bufferedResponse) status() int {
+	if b.code == 0 {
+		return http.StatusOK
+	}
+	return b.code
+}
+
+func copyHeader(dst, src http.Header) {
+	for k, vs := range src {
+		for _, v := range vs {
+			dst.Add(k, v)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package faultinject
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func echoHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"ok":true,"payload":"0123456789"}`))
+	})
+}
+
+// drive sends n sequential requests through a real listener (drops need a
+// real connection to be observable) and returns the status codes, with -1
+// for transport-level failures.
+func drive(t *testing.T, p *Proxy, n int) []int {
+	t.Helper()
+	ts := httptest.NewServer(p)
+	defer ts.Close()
+	codes := make([]int, n)
+	for i := range codes {
+		resp, err := http.Get(ts.URL)
+		if err != nil {
+			codes[i] = -1
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		codes[i] = resp.StatusCode
+	}
+	return codes
+}
+
+func TestDeterministicFaultSequence(t *testing.T) {
+	cfg := Config{Seed: 99, ErrorRate: 0.3, DropRate: 0.1}
+	a := drive(t, New(echoHandler(), cfg), 100)
+	b := drive(t, New(echoHandler(), cfg), 100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d: run A saw %d, run B saw %d — same seed must replay identically", i, a[i], b[i])
+		}
+	}
+	c := drive(t, New(echoHandler(), Config{Seed: 100, ErrorRate: 0.3, DropRate: 0.1}), 100)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical fault sequences")
+	}
+}
+
+func TestErrorRateApproximatelyHolds(t *testing.T) {
+	p := New(echoHandler(), Config{Seed: 7, ErrorRate: 0.3})
+	codes := drive(t, p, 1000)
+	errs := 0
+	for _, c := range codes {
+		switch c {
+		case http.StatusServiceUnavailable:
+			errs++
+		case http.StatusOK:
+		default:
+			t.Fatalf("unexpected status %d", c)
+		}
+	}
+	if errs < 240 || errs > 360 {
+		t.Errorf("injected %d/1000 errors for rate 0.3, want ~300", errs)
+	}
+	if got := p.Errors(); got != int64(errs) {
+		t.Errorf("Errors() = %d, observed %d", got, errs)
+	}
+}
+
+func TestDropsAbortConnections(t *testing.T) {
+	p := New(echoHandler(), Config{Seed: 3, DropRate: 1})
+	codes := drive(t, p, 10)
+	for i, c := range codes {
+		if c != -1 {
+			t.Errorf("request %d: status %d, want transport failure from dropped connection", i, c)
+		}
+	}
+	if p.Drops() != 10 {
+		t.Errorf("Drops() = %d, want 10", p.Drops())
+	}
+}
+
+func TestInjectedErrorBodyIsJSON(t *testing.T) {
+	p := New(echoHandler(), Config{Seed: 1, ErrorRate: 1, ErrorCode: http.StatusInternalServerError})
+	w := httptest.NewRecorder()
+	p.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/", nil))
+	if w.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d, want configured 500", w.Code)
+	}
+	var body map[string]string
+	if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil || body["error"] == "" {
+		t.Errorf("injected error body %q is not a JSON error", w.Body.String())
+	}
+}
+
+func TestSlowBodyDeliversCompleteResponse(t *testing.T) {
+	p := New(echoHandler(), Config{Seed: 5, SlowBodyRate: 1, SlowBodyDelay: time.Millisecond})
+	ts := httptest.NewServer(p)
+	defer ts.Close()
+
+	start := time.Now()
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body map[string]any
+	if err := json.Unmarshal(b, &body); err != nil || body["ok"] != true {
+		t.Errorf("slow body corrupted the response: %q", b)
+	}
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Errorf("slow body of %d bytes arrived in %v, want visibly dribbled", len(b), elapsed)
+	}
+	if p.SlowBodies() != 1 {
+		t.Errorf("SlowBodies() = %d, want 1", p.SlowBodies())
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	p := New(echoHandler(), Config{Seed: 5, Latency: 30 * time.Millisecond})
+	w := httptest.NewRecorder()
+	start := time.Now()
+	p.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/", nil))
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Errorf("request served in %v, want >= 30ms injected latency", elapsed)
+	}
+	if w.Code != http.StatusOK {
+		t.Errorf("status %d after latency injection, want 200", w.Code)
+	}
+}

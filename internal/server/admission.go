@@ -1,0 +1,63 @@
+package server
+
+import (
+	"net/http"
+	"sync/atomic"
+)
+
+// Admission control: the two-queue gate of the tuning service.
+//
+// The server answers two very different kinds of traffic. Score/sim
+// requests are pure inference — microseconds, fully parallel, usually a
+// cache hit. Measure-mode requests run real stencil executions that
+// serialize on the shared exec.Measurer (interleaved wall-clock timings
+// would corrupt each other), so each one can hold the measurer for tens of
+// milliseconds to seconds. Without a gate, a burst of measure requests
+// piles unbounded goroutines onto the measurer's lock: memory grows with
+// the backlog, every queued client eventually times out anyway, and the
+// scheduler pressure bleeds into the cheap path's tail latency.
+//
+// The gate gives measure work its own bounded queue: at most
+// MeasureQueueDepth requests may be queued-or-running at once, and
+// arrivals beyond that are shed immediately with 503 + Retry-After —
+// an honest "come back later" instead of a doomed wait. Cheap traffic
+// never touches the gate, so a measure flood cannot starve it, and the
+// gate sits inside the cache/coalescing layers, so cached or coalesced
+// measure responses stay free.
+//
+// admitMeasure reserves a slot (release returns it); the depth and shed
+// counts surface in /metrics and /readyz.
+
+// errMeasureQueueFull is the shed response; Retry-After = 1s is honest for
+// a queue whose occupants are sub-second measurements.
+var errMeasureQueueFull = &httpError{
+	code:       http.StatusServiceUnavailable,
+	msg:        "measure queue full, try again later",
+	retryAfter: 1,
+}
+
+// admitMeasure claims a slot in the measure queue, or fails fast with a
+// shed error when the queue is at capacity. The returned release must be
+// called exactly once when the measurement work is done.
+func (s *Server) admitMeasure() (release func(), err error) {
+	select {
+	case s.measureSlots <- struct{}{}:
+		s.metrics.Add("measure_admitted", 1)
+		var released atomic.Bool
+		return func() {
+			if released.CompareAndSwap(false, true) {
+				<-s.measureSlots
+			}
+		}, nil
+	default:
+		s.metrics.Add("measure_shed", 1)
+		return nil, errMeasureQueueFull
+	}
+}
+
+// MeasureQueueDepth reports how many measure-mode requests currently hold
+// queue slots (queued or executing).
+func (s *Server) MeasureQueueDepth() int { return len(s.measureSlots) }
+
+// MeasureQueueCapacity reports the configured bound.
+func (s *Server) MeasureQueueCapacity() int { return cap(s.measureSlots) }

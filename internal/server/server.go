@@ -34,7 +34,9 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/buildinfo"
@@ -57,6 +59,13 @@ type Config struct {
 	// prediction and hybrid tuning (0/1 sequential, negative GOMAXPROCS —
 	// the convention of every workers knob in this codebase; default -1).
 	Workers int
+	// MaxBodyBytes caps request bodies; an over-limit body is rejected
+	// with 413 (default 16 MiB, negative unlimited).
+	MaxBodyBytes int64
+	// MeasureQueueDepth bounds how many measure-mode requests may be
+	// queued or running at once; arrivals beyond it are shed with 503
+	// (default 8). See admission.go.
+	MeasureQueueDepth int
 }
 
 // Server is the tuning service. Create with New, mount Handler, Close when
@@ -67,8 +76,19 @@ type Server struct {
 	flight flightGroup
 
 	workers int
+	maxBody int64
 	start   time.Time
 	build   buildinfo.Info
+
+	// measureSlots is the admission gate for measure-mode work: a slot is
+	// held from admission until the measurement completes, and a full
+	// channel sheds new arrivals with 503 (see admission.go).
+	measureSlots chan struct{}
+
+	// draining flips when the process has begun graceful shutdown; /readyz
+	// then reports not-ready so load balancers stop sending new traffic
+	// while in-flight requests finish.
+	draining atomic.Bool
 
 	// metrics is an unpublished expvar.Map so independent Server instances
 	// (tests run many per process) keep independent counters.
@@ -84,6 +104,10 @@ type Server struct {
 	// testHookInfer, when set, runs at the start of every non-coalesced
 	// inference — the coalescing tests gate it to hold a computation open.
 	testHookInfer func()
+	// testHookMeasure, when set, runs after a measure-mode request is
+	// admitted through the queue gate and before it evaluates — the
+	// admission tests gate it to hold slots occupied deterministically.
+	testHookMeasure func()
 }
 
 // New loads every artifact under cfg.ModelDir and returns a ready server.
@@ -98,13 +122,21 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Workers == 0 {
 		cfg.Workers = -1
 	}
+	if cfg.MaxBodyBytes == 0 {
+		cfg.MaxBodyBytes = 16 << 20
+	}
+	if cfg.MeasureQueueDepth <= 0 {
+		cfg.MeasureQueueDepth = 8
+	}
 	s := &Server{
-		reg:     reg,
-		cache:   newLRU(cfg.CacheSize),
-		workers: cfg.Workers,
-		start:   time.Now(),
-		build:   buildinfo.Read(),
-		metrics: new(expvar.Map).Init(),
+		reg:          reg,
+		cache:        newLRU(cfg.CacheSize),
+		workers:      cfg.Workers,
+		maxBody:      cfg.MaxBodyBytes,
+		start:        time.Now(),
+		build:        buildinfo.Read(),
+		metrics:      new(expvar.Map).Init(),
+		measureSlots: make(chan struct{}, cfg.MeasureQueueDepth),
 	}
 	return s, nil
 }
@@ -162,9 +194,20 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/predict", s.post(s.handlePredict))
 	mux.HandleFunc("/v1/models", s.handleModels)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
 }
+
+// Metrics exposes the server's counter map so operational middleware
+// (panic recovery, rate limiting) records into the same /metrics surface.
+func (s *Server) Metrics() *expvar.Map { return s.metrics }
+
+// StartDraining marks the server not-ready: /readyz answers 503 so load
+// balancers stop routing here, while existing endpoints keep serving until
+// the listener finishes draining. Call it when shutdown begins, before
+// http.Server.Shutdown.
+func (s *Server) StartDraining() { s.draining.Store(true) }
 
 // ---------------------------------------------------------------------------
 // Wire types
@@ -344,16 +387,49 @@ func (s *Server) post(h func(w http.ResponseWriter, r *http.Request)) http.Handl
 	}
 }
 
+// httpError carries an explicit status (and optional Retry-After seconds)
+// through the compute/decode plumbing to fail; plain errors default to the
+// caller's code.
+type httpError struct {
+	code       int
+	msg        string
+	retryAfter int
+}
+
+func (e *httpError) Error() string { return e.msg }
+
 func (s *Server) fail(w http.ResponseWriter, code int, err error) {
+	var he *httpError
+	if errors.As(err, &he) {
+		code = he.code
+		if he.retryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(he.retryAfter))
+		}
+	}
 	s.metrics.Add("errors", 1)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
 }
 
-func decode(r *http.Request, v any) error {
-	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, 16<<20))
+// decode reads and unmarshals a request body under the configured size
+// cap. The real ResponseWriter goes to MaxBytesReader (it closes the
+// connection on overrun so the client stops uploading), and an over-limit
+// body maps to an explicit 413 instead of a generic failure.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) error {
+	limit := s.maxBody
+	if limit < 0 {
+		limit = 1 << 40 // "unlimited", still bounded against runaway streams
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
 	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return &httpError{
+				code: http.StatusRequestEntityTooLarge,
+				msg:  fmt.Sprintf("request body exceeds the %d-byte limit", mbe.Limit),
+			}
+		}
 		return fmt.Errorf("reading body: %v", err)
 	}
 	if err := json.Unmarshal(body, v); err != nil {
@@ -401,6 +477,7 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string,
 		b, err, shared = s.flight.Do(r.Context(), key, run)
 	}
 	if err != nil {
+		// fail upgrades typed *httpError codes (e.g. 503 queue shed).
 		code := http.StatusBadRequest
 		if isCtxErr(err) {
 			code = http.StatusServiceUnavailable
@@ -430,20 +507,31 @@ func (s *Server) respond(w http.ResponseWriter, source string, body []byte) {
 // evaluatorFor builds the per-request evaluation stack for a mode:
 // request-scoped memoization over a context-honoring fan-out of the model's
 // simulator, or the shared wall-clock measurer (which batches natively,
-// serialized for timing fidelity).
-func (s *Server) evaluatorFor(ctx context.Context, lm *loadedModel, mode string) (dataset.BatchEvaluator, error) {
+// serialized for timing fidelity). Measure mode passes through the
+// admission gate, so the caller must invoke release (always non-nil) once
+// the evaluation is done; a full queue fails with a 503 shed error.
+func (s *Server) evaluatorFor(ctx context.Context, lm *loadedModel, mode string) (eval dataset.BatchEvaluator, release func(), err error) {
+	noop := func() {}
 	switch mode {
 	case "", "sim":
-		return dataset.Memoized(dataset.BatchedContext(ctx, lm.sim, s.workers)), nil
+		return dataset.Memoized(dataset.BatchedContext(ctx, lm.sim, s.workers)), noop, nil
 	case "measure":
 		s.metrics.Add("measure_requests", 1)
+		release, err := s.admitMeasure()
+		if err != nil {
+			return nil, noop, err
+		}
+		if s.testHookMeasure != nil {
+			s.testHookMeasure()
+		}
 		m := s.getMeasurer()
 		if m == nil {
-			return nil, fmt.Errorf("server is shutting down")
+			release()
+			return nil, noop, fmt.Errorf("server is shutting down")
 		}
-		return dataset.Memoized(measuredEval{m}), nil
+		return dataset.Memoized(measuredEval{m}), release, nil
 	default:
-		return nil, fmt.Errorf("unknown mode %q (want sim or measure)", mode)
+		return nil, noop, fmt.Errorf("unknown mode %q (want sim or measure)", mode)
 	}
 }
 
@@ -490,7 +578,7 @@ type hybridJSON struct {
 
 func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 	var req tuneRequest
-	if err := decode(r, &req); err != nil {
+	if err := s.decode(w, r, &req); err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
@@ -530,10 +618,11 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 			RankMicros:       time.Since(start).Microseconds(),
 		}
 		if req.TopK > 0 {
-			eval, err := s.evaluatorFor(ctx, lm, mode)
+			eval, release, err := s.evaluatorFor(ctx, lm, mode)
 			if err != nil {
 				return nil, err
 			}
+			defer release()
 			hres, err := lm.tuner.HybridTopK(q, cands, req.TopK, core.BatchObjectiveFor(eval, q))
 			if err != nil {
 				return nil, err
@@ -589,7 +678,7 @@ type rankResponse struct {
 
 func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	var req rankRequest
-	if err := decode(r, &req); err != nil {
+	if err := s.decode(w, r, &req); err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
@@ -654,7 +743,7 @@ type predictResponse struct {
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	var req predictRequest
-	if err := decode(r, &req); err != nil {
+	if err := s.decode(w, r, &req); err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
@@ -697,10 +786,11 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			}
 			return resp, nil
 		}
-		eval, err := s.evaluatorFor(ctx, lm, mode)
+		eval, release, err := s.evaluatorFor(ctx, lm, mode)
 		if err != nil {
 			return nil, err
 		}
+		defer release()
 		resp.Values = eval.RuntimeBatch(q, vs)
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -767,9 +857,34 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleReadyz is the readiness probe: distinct from /healthz liveness, it
+// answers 503 once draining begins or while the measure queue is saturated,
+// so a balancer routes new traffic elsewhere while this instance catches up
+// — the process is alive (healthz) but should not receive more load.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	depth, capacity := s.MeasureQueueDepth(), s.MeasureQueueCapacity()
+	draining := s.draining.Load()
+	ready := !draining && len(s.reg.names) > 0 && depth < capacity
+	code := http.StatusOK
+	if !ready {
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]any{
+		"ready":                  ready,
+		"draining":               draining,
+		"models":                 len(s.reg.names),
+		"measure_queue_depth":    depth,
+		"measure_queue_capacity": capacity,
+	})
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.metrics.Set("cache_entries", intVar(int64(s.cache.Len())))
 	s.metrics.Set("flight_waiting", intVar(int64(s.flight.Waiting())))
+	s.metrics.Set("measure_queue_depth", intVar(int64(s.MeasureQueueDepth())))
+	s.metrics.Set("measure_queue_capacity", intVar(int64(s.MeasureQueueCapacity())))
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintf(w, "{\"stencilserve\": %s}\n", s.metrics.String())
 }
