@@ -316,6 +316,67 @@ func BenchmarkRunCompiled(b *testing.B) {
 	}
 }
 
+// fusedBenchCases sweeps the temporal fusion depth on the DRAM-resident
+// laplacian (the case fusion exists for): one fused sweep advances K steps
+// while streaming the input through cache once, so per-step cost should drop
+// roughly with the depth until the wavefront working set spills.
+func fusedBenchCases() []execBenchCase {
+	tv3 := tunespace.Vector{Bx: 32, By: 16, Bz: 8, U: 4, C: 2}
+	var cases []execBenchCase
+	for _, k := range []int{1, 2, 3, 4} {
+		tv := tv3
+		tv.K = k
+		cases = append(cases,
+			execBenchCase{fmt.Sprintf("n=192-k=%d", k), exec.LaplacianExec(), 192, 192, tv, false},
+			execBenchCase{fmt.Sprintf("n=192-k=%d-f32", k), exec.LaplacianExec(), 192, 192, tv, true},
+		)
+	}
+	return cases
+}
+
+// benchRunFused is the BenchmarkRunFused body for one element type. It
+// reports per-STEP ns/op — a sweep of the fused program counts as K
+// operations — so every row is directly comparable with the unfused
+// BenchmarkRunCompiled/n=192 baseline.
+func benchRunFused[T grid.Float](b *testing.B, tc execBenchCase) {
+	r := exec.NewRunnerOf[T]()
+	defer r.Close()
+	out, ins := execBenchWorkspace[T](tc.k, tc.n, tc.nz)
+	fp, err := r.CompileFused(tc.k, out, ins[0], tc.tv)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := fp.Run(out, ins[0]); err != nil { // warm pool + scratch
+		b.Fatal(err)
+	}
+	steps := fp.Steps()
+	b.SetBytes(int64(tc.n * tc.n * tc.nz * out.ElemBytes()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; done += steps {
+		if err := fp.Run(out, ins[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunFused measures the fused multi-timestep wavefront engine at
+// depths 1..4 in both precisions. Depth 1 runs the degenerate one-level
+// schedule and quantifies the engine's overhead against the plain compiled
+// path; depths ≥2 are where the DRAM-traffic savings must show up (CI fails
+// if they don't).
+func BenchmarkRunFused(b *testing.B) {
+	for _, tc := range fusedBenchCases() {
+		b.Run(tc.name, func(b *testing.B) {
+			if tc.f32 {
+				benchRunFused[float32](b, tc)
+			} else {
+				benchRunFused[float64](b, tc)
+			}
+		})
+	}
+}
+
 // benchRunLegacy is the BenchmarkRunLegacyPath body for one element type.
 func benchRunLegacy[T grid.Float](b *testing.B, tc execBenchCase) {
 	r := exec.NewRunnerOf[T]()

@@ -46,10 +46,10 @@ func parseSize(s string) (stencil.Size, error) {
 
 func parseTuning(s string) (tunespace.Vector, error) {
 	parts := strings.Split(s, ",")
-	if len(parts) != 5 {
-		return tunespace.Vector{}, fmt.Errorf("tuning %q must be bx,by,bz,u,c", s)
+	if len(parts) != 5 && len(parts) != 6 {
+		return tunespace.Vector{}, fmt.Errorf("tuning %q must be bx,by,bz,u,c or bx,by,bz,u,c,k", s)
 	}
-	vals := make([]int, 5)
+	vals := make([]int, len(parts))
 	for i, p := range parts {
 		v, err := strconv.Atoi(strings.TrimSpace(p))
 		if err != nil {
@@ -57,7 +57,11 @@ func parseTuning(s string) (tunespace.Vector, error) {
 		}
 		vals[i] = v
 	}
-	return tunespace.Vector{Bx: vals[0], By: vals[1], Bz: vals[2], U: vals[3], C: vals[4]}, nil
+	tv := tunespace.Vector{Bx: vals[0], By: vals[1], Bz: vals[2], U: vals[3], C: vals[4], K: 1}
+	if len(vals) == 6 {
+		tv.K = vals[5]
+	}
+	return tv, nil
 }
 
 func main() {
@@ -66,7 +70,7 @@ func main() {
 
 	kernelName := flag.String("kernel", "", "benchmark kernel to cost-model (with -size and -tuning)")
 	sizeStr := flag.String("size", "128x128x128", "grid size")
-	tuningStr := flag.String("tuning", "32,16,4,4,2", "tuning vector bx,by,bz,u,c")
+	tuningStr := flag.String("tuning", "32,16,4,4,2", "tuning vector bx,by,bz,u,c[,k]")
 	modelPath := flag.String("model", "", "trained model to explain")
 	top := flag.Int("top", 16, "how many weights to show per sign")
 	version := flag.Bool("version", false, "print version and exit")

@@ -81,11 +81,11 @@ func tuneViaServer(baseURL, clientID string, timeout time.Duration, kernelName, 
 		resp.Instance, baseURL, resp.Model, resp.Cache, c.Attempts())
 	fmt.Printf("ranked %d configurations in %v\n",
 		resp.RankedCandidates, time.Duration(resp.RankMicros)*time.Microsecond)
-	fmt.Printf("top-ranked tuning: {bx:%d by:%d bz:%d u:%d c:%d}\n",
-		resp.Best.Bx, resp.Best.By, resp.Best.Bz, resp.Best.U, resp.Best.C)
+	fmt.Printf("top-ranked tuning: {bx:%d by:%d bz:%d u:%d c:%d k:%d}\n",
+		resp.Best.Bx, resp.Best.By, resp.Best.Bz, resp.Best.U, resp.Best.C, effFuse(resp.Best.K))
 	if h := resp.Hybrid; h != nil {
-		fmt.Printf("hybrid top-%d tuning (%s): {bx:%d by:%d bz:%d u:%d c:%d} (%.6f s)\n",
-			h.TopK, h.Mode, h.Best.Bx, h.Best.By, h.Best.Bz, h.Best.U, h.Best.C, h.BestValue)
+		fmt.Printf("hybrid top-%d tuning (%s): {bx:%d by:%d bz:%d u:%d c:%d k:%d} (%.6f s)\n",
+			h.TopK, h.Mode, h.Best.Bx, h.Best.By, h.Best.Bz, h.Best.U, h.Best.C, effFuse(h.Best.K), h.BestValue)
 	}
 	return nil
 }
@@ -108,6 +108,15 @@ func parseSize(s string) (stenciltune.Size, error) {
 	default:
 		return stenciltune.Size{}, fmt.Errorf("size %q must be NxM or NxMxK", s)
 	}
+}
+
+// effFuse normalizes a wire-format fusion depth: older servers omit the
+// field, and 0 means unfused (depth 1).
+func effFuse(k int) int {
+	if k < 1 {
+		return 1
+	}
+	return k
 }
 
 func main() {

@@ -106,13 +106,15 @@ func (c *Client) Retries() int64  { return c.retries.Load() }
 // ---------------------------------------------------------------------------
 // Wire types (mirrors of the server's JSON schema)
 
-// Vector is a tuning vector on the wire; Bz may stay 0 for 2-D stencils.
+// Vector is a tuning vector on the wire; Bz may stay 0 for 2-D stencils and
+// K (temporal fusion depth) may stay 0 for unfused vectors.
 type Vector struct {
 	Bx int `json:"bx"`
 	By int `json:"by"`
 	Bz int `json:"bz,omitempty"`
 	U  int `json:"u"`
 	C  int `json:"c"`
+	K  int `json:"k,omitempty"`
 }
 
 // Kernel selects the stencil: a Table III benchmark name, an inline DSL

@@ -1,12 +1,18 @@
-// Package codegen is the PATUS substitute (DESIGN.md §1): it turns a stencil
-// kernel plus a tuning vector into an executable code variant, and accounts
-// for the double-compilation cost the paper reports (PATUS source-to-source
-// translation followed by gcc), which dominates the 32-hour training-set
-// preparation of Table II.
+// Package codegen is the PATUS substitute (DESIGN.md §1): it lowers a
+// stencil kernel plus a tuning vector to a specialized executable variant.
+// Lowering is real specialization, not interpretation: the kernel's
+// structural fingerprint (star5, star7, row3, box9, box27, or generic)
+// selects pre-specialized inner-loop bodies in internal/exec, the unroll
+// factor selects their pre-unrolled block widths, and a fusion depth K > 1
+// selects the temporal-blocking wavefront engine with its fused per-plane
+// bodies. Variants are generic over the element type, so a float32 stencil
+// compiles to a genuine single-precision variant.
 //
-// Variant construction itself is immediate in Go — the compile-cost model
-// exists purely so the Table II reproduction can report the same cost column
-// the paper does.
+// The package also accounts the double-compilation cost the paper reports
+// (PATUS source-to-source translation followed by gcc), which dominates the
+// 32-hour training-set preparation of Table II. Variant construction itself
+// is immediate in Go — the compile-cost model exists purely so the Table II
+// reproduction can report the same cost column the paper does.
 package codegen
 
 import (
@@ -20,34 +26,61 @@ import (
 )
 
 // Variant is a compiled stencil code variant: a kernel bound to a tuning
-// vector, runnable on concrete grids. Variants execute in double precision
-// (the substrate the compile-cost model was calibrated on); precision-true
-// float32 execution goes through exec.Runner[float32] or exec.Measurer.
-type Variant struct {
+// vector, runnable on concrete grids of element type T.
+type Variant[T grid.Float] struct {
 	Kernel *exec.LinearKernel
 	Tuning tunespace.Vector
-	runner *exec.Runner[float64]
+	runner *exec.Runner[T]
 }
 
-// Run executes the variant over the given output and input grids.
-func (v *Variant) Run(out *grid.Grid[float64], ins []*grid.Grid[float64]) error {
+// Run executes one step of the variant over the given output and input
+// grids.
+func (v *Variant[T]) Run(out *grid.Grid[T], ins []*grid.Grid[T]) error {
 	return v.runner.Run(v.Kernel, out, ins, v.Tuning)
 }
 
-// Compiler builds variants and accounts compile cost.
-type Compiler struct {
-	runner *exec.Runner[float64]
+// Fingerprint names the structural specialization class the backend selects
+// inner-loop bodies by.
+func (v *Variant[T]) Fingerprint() string { return exec.Fingerprint(v.Kernel) }
+
+// Fused reports whether the variant executes through the temporal-blocking
+// engine: a fusion depth above 1 on a fusable (single-buffer) kernel.
+func (v *Variant[T]) Fused() bool {
+	return v.Tuning.EffFuse() > 1 && exec.CanFuse(v.Kernel)
+}
+
+// RunFused advances in by the tuning vector's fusion depth in one fused
+// sweep, writing the result to out. The input's halos must already be
+// periodic-refreshed; see exec.FusedProgram. Unfusable kernels or geometries
+// return the fused engine's compile error — callers fall back to Run.
+func (v *Variant[T]) RunFused(out, in *grid.Grid[T]) error {
+	fp, err := v.runner.CompileFused(v.Kernel, out, in, v.Tuning)
+	if err != nil {
+		return err
+	}
+	return fp.Run(out, in)
+}
+
+// Compiler builds variants of one element type and accounts compile cost.
+type Compiler[T grid.Float] struct {
+	runner *exec.Runner[T]
 	// accounted accumulates the simulated double-compilation cost.
 	accounted time.Duration
 	compiled  int
 }
 
-// NewCompiler returns a compiler with a default runner.
-func NewCompiler() *Compiler { return &Compiler{runner: exec.NewRunner()} }
+// NewCompilerOf returns a compiler emitting variants of element type T.
+func NewCompilerOf[T grid.Float]() *Compiler[T] {
+	return &Compiler[T]{runner: exec.NewRunnerOf[T]()}
+}
+
+// NewCompiler returns a double-precision compiler (the float64 shim of
+// NewCompilerOf).
+func NewCompiler() *Compiler[float64] { return NewCompilerOf[float64]() }
 
 // Compile builds the executable variant for (k, t), charging the simulated
 // compile-cost account.
-func (c *Compiler) Compile(k *stencil.Kernel, t tunespace.Vector) (*Variant, error) {
+func (c *Compiler[T]) Compile(k *stencil.Kernel, t tunespace.Vector) (*Variant[T], error) {
 	if err := k.Validate(); err != nil {
 		return nil, err
 	}
@@ -56,28 +89,30 @@ func (c *Compiler) Compile(k *stencil.Kernel, t tunespace.Vector) (*Variant, err
 	}
 	c.accounted += CompileCost(k, t)
 	c.compiled++
-	return &Variant{Kernel: exec.Executable(k), Tuning: t, runner: c.runner}, nil
+	return &Variant[T]{Kernel: exec.Executable(k), Tuning: t, runner: c.runner}, nil
 }
 
 // Compiled returns how many variants were built.
-func (c *Compiler) Compiled() int { return c.compiled }
+func (c *Compiler[T]) Compiled() int { return c.compiled }
 
 // Close stops the worker pool shared by this compiler's variants.
-func (c *Compiler) Close() { c.runner.Close() }
+func (c *Compiler[T]) Close() { c.runner.Close() }
 
 // AccountedCompileTime returns the simulated wall-clock cost a real
 // PATUS+gcc toolchain would have spent on the variants compiled so far.
-func (c *Compiler) AccountedCompileTime() time.Duration { return c.accounted }
+func (c *Compiler[T]) AccountedCompileTime() time.Duration { return c.accounted }
 
 // CompileCost models the PATUS + gcc double compilation time for one
 // variant. The paper reports ~32 hours for the full training set (Table II);
 // the dominant term is gcc digesting the fully unrolled vectorized inner
-// body, which grows with the stencil density and the unroll factor.
+// body, which grows with the stencil density, the unroll factor, and the
+// fusion depth — each fused time level replicates the inner body once more.
 func CompileCost(k *stencil.Kernel, t tunespace.Vector) time.Duration {
 	// Baseline toolchain invocation: PATUS translation + gcc bookkeeping.
 	base := 1500 * time.Millisecond
-	// Emitted inner-loop statements: one FMA per access per unroll replica.
-	statements := float64(k.Shape.TotalAccesses()) * float64(t.U+1)
+	// Emitted inner-loop statements: one FMA per access per unroll replica,
+	// per fused time level.
+	statements := float64(k.Shape.TotalAccesses()) * float64(t.U+1) * float64(t.EffFuse())
 	body := time.Duration(statements*25) * time.Millisecond
 	return base + body
 }

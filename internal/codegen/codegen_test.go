@@ -82,3 +82,88 @@ func TestCompileCostMagnitude(t *testing.T) {
 		t.Errorf("single variant costs %v, implausibly low", cheap)
 	}
 }
+
+func TestCompileCostMonotoneInFusionAndUnroll(t *testing.T) {
+	k := stencil.Laplacian()
+	// Nondecreasing (strictly increasing) in K for fixed U, and in U for
+	// fixed K; K=0 and K=1 both mean "unfused" and must cost the same.
+	for _, u := range []int{0, 2, 8} {
+		prev := time.Duration(0)
+		for kf := 1; kf <= tunespace.MaxFuse; kf++ {
+			c := CompileCost(k, tunespace.Vector{Bx: 8, By: 8, Bz: 8, U: u, C: 1, K: kf})
+			if c <= prev {
+				t.Errorf("u=%d: cost(K=%d)=%v not greater than cost(K=%d)=%v", u, kf, c, kf-1, prev)
+			}
+			prev = c
+		}
+	}
+	for _, kf := range []int{1, 2, 4} {
+		prev := time.Duration(0)
+		for _, u := range []int{0, 1, 2, 4, 8} {
+			c := CompileCost(k, tunespace.Vector{Bx: 8, By: 8, Bz: 8, U: u, C: 1, K: kf})
+			if c <= prev {
+				t.Errorf("k=%d: cost(U=%d)=%v not greater than previous %v", kf, u, c, prev)
+			}
+			prev = c
+		}
+	}
+	k0 := CompileCost(k, tunespace.Vector{Bx: 8, By: 8, Bz: 8, U: 2, C: 1, K: 0})
+	k1 := CompileCost(k, tunespace.Vector{Bx: 8, By: 8, Bz: 8, U: 2, C: 1, K: 1})
+	if k0 != k1 {
+		t.Errorf("K=0 cost %v != K=1 cost %v; both mean unfused", k0, k1)
+	}
+}
+
+func TestFloat32CompilerProducesSinglePrecisionVariant(t *testing.T) {
+	c := NewCompilerOf[float32]()
+	defer c.Close()
+	k := stencil.Laplacian()
+	v, err := c.Compile(k, tunespace.Vector{Bx: 16, By: 8, Bz: 4, U: 2, C: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	halo := k.Shape.MaxOffset()
+	out := grid.NewOf[float32](16, 16, 16, halo, halo)
+	in := grid.NewOf[float32](16, 16, 16, halo, halo)
+	in.FillPattern()
+	if err := v.Run(out, []*grid.Grid[float32]{in}); err != nil {
+		t.Fatal(err)
+	}
+	if out.InteriorSum() == 0 {
+		t.Error("float32 variant produced all-zero output")
+	}
+}
+
+func TestFusedVariantSelectsSpecializedBody(t *testing.T) {
+	c := NewCompiler()
+	defer c.Close()
+	k := stencil.Laplacian()
+	v, err := c.Compile(k, tunespace.Vector{Bx: 16, By: 8, Bz: 4, U: 2, C: 1, K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp := v.Fingerprint(); fp != "star7" {
+		t.Errorf("laplacian fingerprint = %q, want star7", fp)
+	}
+	if !v.Fused() {
+		t.Error("K=3 laplacian variant should report Fused")
+	}
+	halo := k.Shape.MaxOffset()
+	out := grid.New(16, 16, 16, halo, halo)
+	in := grid.New(16, 16, 16, halo, halo)
+	in.FillPattern()
+	if err := v.RunFused(out, in); err != nil {
+		t.Fatal(err)
+	}
+	if out.InteriorSum() == 0 {
+		t.Error("fused variant produced all-zero output")
+	}
+
+	unfused, err := c.Compile(k, tunespace.Vector{Bx: 16, By: 8, Bz: 4, U: 2, C: 1, K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unfused.Fused() {
+		t.Error("K=1 variant should not report Fused")
+	}
+}

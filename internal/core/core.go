@@ -153,12 +153,15 @@ func (t *Tuner) HybridTopK(q stencil.Instance, cands []tunespace.Vector, k int, 
 // biased by the model: the engine's random objective evaluations are
 // intercepted so the first len(seeds) evaluations probe the model's
 // top-ranked candidates. This is the "speed up iterative compilation"
-// direction of the paper's conclusion.
+// direction of the paper's conclusion. The seeds are ranked over the
+// fusion-extended predefined set, so the model can suggest temporally fused
+// configurations on the same footing as the engine's random exploration
+// (which draws the full space, fusion depth included).
 func (t *Tuner) SeededSearch(q stencil.Instance, engine search.Engine, obj search.Objective,
 	budget, seedCount int, seed int64) (search.Result, error) {
 
 	space := tunespace.NewSpace(q.Kernel.Dims())
-	cands := space.Predefined()
+	cands := space.PredefinedFused()
 	order, err := t.Rank(q, cands)
 	if err != nil {
 		return search.Result{}, err

@@ -146,8 +146,28 @@ func (s *Simulation[T]) Release() {
 	s.ring = nil
 }
 
-// Run advances n steps.
+// Run advances n steps. When the tuning vector's fusion depth K exceeds 1
+// and the configuration is fusable — periodic boundary, single-buffer kernel,
+// domain no narrower than the kernel radius — full K-step chunks execute
+// through the fused temporal-blocking engine, which is bit-identical to K
+// sequential Steps; the remainder (and any unfusable configuration) falls
+// back to sequential stepping, so K is advisory rather than load-bearing.
 func (s *Simulation[T]) Run(n int) error {
+	if k := s.Tuning.EffFuse(); k > 1 && n >= k && s.Boundary == Periodic && exec.CanFuse(s.Kernel) {
+		in, out := s.ring[0], s.ring[1]
+		if fp, err := s.runner.CompileFused(s.Kernel, out, in, s.Tuning); err == nil {
+			for n >= k {
+				in, out = s.ring[0], s.ring[1]
+				s.refreshHalo(in)
+				if err := fp.Run(out, in); err != nil {
+					return fmt.Errorf("driver: step %d (fused ×%d): %w", s.step, k, err)
+				}
+				s.ring[0], s.ring[1] = out, in
+				s.step += k
+				n -= k
+			}
+		}
+	}
 	for i := 0; i < n; i++ {
 		if err := s.Step(); err != nil {
 			return fmt.Errorf("driver: step %d: %w", s.step, err)

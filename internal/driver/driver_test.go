@@ -277,3 +277,74 @@ func TestSimulationCloseAndResume(t *testing.T) {
 	}
 	s.Close()
 }
+
+// star7 is a canonical 3-D 7-point smoothing kernel (weights sum to one).
+func star7() *exec.LinearKernel {
+	return &exec.LinearKernel{Name: "star7", Buffers: 1, Terms: []exec.Term{
+		{Offset: shape.Point{}, Weight: 0.4},
+		{Offset: shape.Point{X: 1}, Weight: 0.1},
+		{Offset: shape.Point{X: -1}, Weight: 0.1},
+		{Offset: shape.Point{Y: 1}, Weight: 0.1},
+		{Offset: shape.Point{Y: -1}, Weight: 0.1},
+		{Offset: shape.Point{Z: 1}, Weight: 0.1},
+		{Offset: shape.Point{Z: -1}, Weight: 0.1},
+	}}
+}
+
+// TestFusedRunMatchesSequentialSteps pins that Run with a fusion depth K > 1
+// under periodic boundaries is bit-identical to the same number of
+// sequential Steps, including a non-multiple-of-K remainder, and that the
+// step counter stays consistent.
+func TestFusedRunMatchesSequentialSteps(t *testing.T) {
+	for _, steps := range []int{3, 7, 8} {
+		seq, err := New(star7(), 12, 10, 8, tunespace.Vector{Bx: 8, By: 8, Bz: 4, U: 2, C: 1, K: 1}, Periodic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer seq.Release()
+		fused, err := New(star7(), 12, 10, 8, tunespace.Vector{Bx: 8, By: 8, Bz: 4, U: 2, C: 1, K: 3}, Periodic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer fused.Release()
+		seq.Level(0).FillPattern()
+		fused.Level(0).FillPattern()
+		if err := seq.Run(steps); err != nil {
+			t.Fatal(err)
+		}
+		if err := fused.Run(steps); err != nil {
+			t.Fatal(err)
+		}
+		if seq.Steps() != steps || fused.Steps() != steps {
+			t.Fatalf("step counters %d/%d, want %d", seq.Steps(), fused.Steps(), steps)
+		}
+		a, b := seq.Level(0), fused.Level(0)
+		for z := 0; z < 8; z++ {
+			for y := 0; y < 10; y++ {
+				for x := 0; x < 12; x++ {
+					va, vb := a.At(x, y, z), b.At(x, y, z)
+					if math.Float64bits(va) != math.Float64bits(vb) {
+						t.Fatalf("steps=%d: (%d,%d,%d) fused %v != sequential %v", steps, x, y, z, vb, va)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFusedRunFallsBackOnUnfusable pins that K > 1 with a non-periodic
+// boundary still runs (sequentially) and advances the step counter.
+func TestFusedRunFallsBackOnUnfusable(t *testing.T) {
+	s, err := New(star7(), 8, 8, 8, tunespace.Vector{Bx: 8, By: 8, Bz: 4, U: 0, C: 1, K: 4}, Neumann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Release()
+	s.Level(0).FillPattern()
+	if err := s.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	if s.Steps() != 5 {
+		t.Fatalf("steps = %d, want 5", s.Steps())
+	}
+}

@@ -141,11 +141,13 @@ func buildPlan[T grid.Float](k *LinearKernel, out *grid.Grid[T], ins []*grid.Gri
 type Runner[T grid.Float] struct {
 	Workers int
 
-	mu          sync.Mutex
-	pool        *workerPool[T]
-	progs       map[progKey]*Program[T]
-	cachedTiles int
-	cachedSpans int
+	mu               sync.Mutex
+	pool             *workerPool[T]
+	progs            map[progKey]*Program[T]
+	cachedTiles      int
+	cachedSpans      int
+	fprogs           map[progKey]*FusedProgram[T]
+	cachedFusedElems int
 }
 
 // NewRunnerOf returns a runner of element type T using all available CPUs.
@@ -177,6 +179,8 @@ func (r *Runner[T]) Close() {
 	r.progs = nil
 	r.cachedTiles = 0
 	r.cachedSpans = 0
+	r.fprogs = nil
+	r.cachedFusedElems = 0
 	r.mu.Unlock()
 	if pool != nil {
 		pool.stop()

@@ -1,0 +1,135 @@
+package exec
+
+// Specialized row bodies for fused multi-timestep execution. Each mirrors
+// its single-step counterpart in fastpath.go — same canonical slot order,
+// same statement-level accumulation — but takes the stream-axis neighbours
+// as separate plane slices (pm/p0/pp for 3-D, rm/r0/rp for 2-D) instead of
+// flat-offset reads, because fused intermediate levels live in plane rings
+// rather than a contiguous grid. The in-plane offsets (off[3]/off[4] for the
+// 3-D star's y neighbours, off[3r+1] for box row centres) are compiled from
+// the same canonical tables, so a kernel's fused sweep is bit-for-bit
+// identical to its sequential fast path.
+
+// fusedRowStar7 computes one row of the 7-point star from three stream
+// planes: pm (z-1), p0 (centre), pp (z+1). Each of the seven taps is
+// re-sliced to an exactly-n window up front: every body access is then s[x]
+// with x < len(d) == len(s), which the compiler proves in-bounds once per
+// row instead of checking per element — the fused sweep is compute-bound,
+// so the checks are the difference between ~8.4 and ~7 cycles per point.
+func (fp *fastPlan[T]) fusedRowStar7(dst, pm, p0, pp []T, base, n, unroll int) {
+	wc, wxp, wxm, wyp, wym, wzp, wzm := fp.w[0], fp.w[1], fp.w[2], fp.w[3], fp.w[4], fp.w[5], fp.w[6]
+	oyp, oym := fp.off[3], fp.off[4]
+	d := dst[base : base+n]
+	c := p0[base : base+n]
+	xp := p0[base+1 : base+1+n]
+	xm := p0[base-1 : base-1+n]
+	yp := p0[base+oyp : base+oyp+n]
+	ym := p0[base+oym : base+oym+n]
+	zp := pp[base : base+n]
+	zm := pm[base : base+n]
+	x := 0
+	if unroll >= 2 {
+		for ; x+2 <= n; x += 2 {
+			d[x] = wc*c[x] + wxp*xp[x] + wxm*xm[x] +
+				wyp*yp[x] + wym*ym[x] + wzp*zp[x] + wzm*zm[x]
+			j := x + 1
+			d[j] = wc*c[j] + wxp*xp[j] + wxm*xm[j] +
+				wyp*yp[j] + wym*ym[j] + wzp*zp[j] + wzm*zm[j]
+		}
+	}
+	for ; x < n; x++ {
+		d[x] = wc*c[x] + wxp*xp[x] + wxm*xm[x] +
+			wyp*yp[x] + wym*ym[x] + wzp*zp[x] + wzm*zm[x]
+	}
+}
+
+// fusedRowStar5 computes one row of the 2-D 5-point star from three stream
+// rows: rm (y-1), r0 (centre), rp (y+1). The canonical slot order places the
+// y neighbours after the x pair, matching runRowStar5.
+func (fp *fastPlan[T]) fusedRowStar5(dst, rm, r0, rp []T, base, n, unroll int) {
+	wc, wxp, wxm, wyp, wym := fp.w[0], fp.w[1], fp.w[2], fp.w[3], fp.w[4]
+	d := dst[base : base+n]
+	c := r0[base : base+n]
+	xp := r0[base+1 : base+1+n]
+	xm := r0[base-1 : base-1+n]
+	yp := rp[base : base+n]
+	ym := rm[base : base+n]
+	x := 0
+	if unroll >= 2 {
+		for ; x+2 <= n; x += 2 {
+			d[x] = wc*c[x] + wxp*xp[x] + wxm*xm[x] + wyp*yp[x] + wym*ym[x]
+			j := x + 1
+			d[j] = wc*c[j] + wxp*xp[j] + wxm*xm[j] + wyp*yp[j] + wym*ym[j]
+		}
+	}
+	for ; x < n; x++ {
+		d[x] = wc*c[x] + wxp*xp[x] + wxm*xm[x] + wyp*yp[x] + wym*ym[x]
+	}
+}
+
+// fusedRowRow3 computes one row of the 3-point x stencil; the stream radius
+// is zero, so the single source plane p0 is the level below's same plane.
+func (fp *fastPlan[T]) fusedRowRow3(dst, p0 []T, base, n, unroll int) {
+	wc, wxp, wxm := fp.w[0], fp.w[1], fp.w[2]
+	d := dst[base : base+n]
+	c := p0[base : base+n]
+	xp := p0[base+1 : base+1+n]
+	xm := p0[base-1 : base-1+n]
+	x := 0
+	if unroll >= 2 {
+		for ; x+2 <= n; x += 2 {
+			d[x] = wc*c[x] + wxp*xp[x] + wxm*xm[x]
+			d[x+1] = wc*c[x+1] + wxp*xp[x+1] + wxm*xm[x+1]
+		}
+	}
+	for ; x < n; x++ {
+		d[x] = wc*c[x] + wxp*xp[x] + wxm*xm[x]
+	}
+}
+
+// fusedRowBox computes one row of a box kernel from stream-plane sources.
+// Row r of the canonical table reads plane src[r/perPlane] at in-plane
+// centre offset off[3r+1]: box9 has rows=3, perPlane=1 (each x-row is its
+// own stream row); box27 has rows=9, perPlane=3 (three x-rows per z plane).
+// Terms accumulate one statement at a time, exactly like runRowBox.
+func (fp *fastPlan[T]) fusedRowBox(dst []T, src [][]T, rows, perPlane, base, n, unroll int) {
+	// Hoist each canonical row's source window out of the x loop: window r
+	// starts at its leftmost tap (centre offset −1) and spans n+2 elements,
+	// so the three taps of point x are w[x], w[x+1], w[x+2] — in-bounds by
+	// construction, letting the compiler drop per-element checks. The r-inner
+	// accumulation order (one statement per term) is unchanged from runRowBox.
+	var win [9][]T
+	for r := 0; r < rows; r++ {
+		j := base + fp.off[3*r+1]
+		win[r] = src[r/perPlane][j-1 : j+n+1]
+	}
+	d := dst[base : base+n]
+	x := 0
+	if unroll >= 2 {
+		for ; x+2 <= n; x += 2 {
+			var a0, a1 T
+			for r := 0; r < rows; r++ {
+				w := win[r][: n+2 : n+2]
+				wl, wc, wr := fp.w[3*r], fp.w[3*r+1], fp.w[3*r+2]
+				a0 += wl * w[x]
+				a0 += wc * w[x+1]
+				a0 += wr * w[x+2]
+				a1 += wl * w[x+1]
+				a1 += wc * w[x+2]
+				a1 += wr * w[x+3]
+			}
+			d[x] = a0
+			d[x+1] = a1
+		}
+	}
+	for ; x < n; x++ {
+		var acc T
+		for r := 0; r < rows; r++ {
+			w := win[r][: n+2 : n+2]
+			acc += fp.w[3*r] * w[x]
+			acc += fp.w[3*r+1] * w[x+1]
+			acc += fp.w[3*r+2] * w[x+2]
+		}
+		d[x] = acc
+	}
+}

@@ -26,9 +26,10 @@ type workerPool[T grid.Float] struct {
 	wg      sync.WaitGroup
 
 	job struct {
-		prog *Program[T]
-		out  *grid.Grid[T]
-		next int64
+		prog  *Program[T]
+		fused *FusedProgram[T]
+		out   *grid.Grid[T]
+		next  int64
 	}
 }
 
@@ -78,6 +79,27 @@ func (p *workerPool[T]) run(prog *Program[T], out *grid.Grid[T]) {
 	}
 }
 
+// runFused executes one wavefront iteration of a fused program: the active
+// plane tasks' rows form a flat index space claimed in chunks, exactly like
+// tile claiming. The caller participates in the drain, so a 2-D fused sweep
+// with a single active row still involves no channel round-trip.
+func (p *workerPool[T]) runFused(fp *FusedProgram[T]) {
+	p.job.fused = fp
+	atomic.StoreInt64(&p.job.next, 0)
+	n := p.workers
+	if c := ceilDiv(fp.active*fp.rows, fp.chunk); n > c {
+		n = c
+	}
+	for i := 1; i < n; i++ {
+		p.wake <- struct{}{}
+	}
+	p.drain()
+	for i := 1; i < n; i++ {
+		<-p.done
+	}
+	p.job.fused = nil
+}
+
 func (p *workerPool[T]) worker() {
 	defer p.wg.Done()
 	for {
@@ -98,6 +120,10 @@ func (p *workerPool[T]) worker() {
 // per-row index arithmetic. Grids too large for the int32 span plan fall
 // back to computing row bases on the fly.
 func (p *workerPool[T]) drain() {
+	if fp := p.job.fused; fp != nil {
+		fp.drainRows(&p.job.next)
+		return
+	}
 	prog := p.job.prog
 	out := p.job.out
 	tiles := prog.tiles

@@ -84,8 +84,17 @@ const (
 	idxUnrollBin0  = idxBzBin0 + blockBins      // 9 bins: u = 0..8
 	idxChunkBin0   = idxUnrollBin0 + unrollBins // 5 bins over log2(c)
 	idxBalanceBin0 = idxChunkBin0 + chunkBins   // 6 bins over log2(groups/cores-ish)
+	// Temporal-fusion block, appended after every older block so that models
+	// trained before fusion existed keep scoring unchanged: an unfused vector
+	// (effective depth 1) emits none of these, and Dot treats indices beyond
+	// an older model's weight vector as zero-weight.
+	idxFuse        = idxBalanceBin0 + balanceBins // linear fusion depth
+	idxFuse2       = idxFuse + 1                  // its square
+	idxFuseDensity = idxFuse + 2                  // depth × stencil density
+	idxFuseWS      = idxFuse + 3                  // depth × tile working set
+	idxFuseBin0    = idxFuse + 4                  // one-hot bins for K = 2..MaxFuse
 	// Dim is the total feature-vector dimensionality.
-	Dim = idxBalanceBin0 + balanceBins
+	Dim = idxFuseBin0 + fuseBins
 )
 
 // Bin counts for the one-hot blocks.
@@ -95,6 +104,7 @@ const (
 	unrollBins  = 9
 	chunkBins   = 5
 	balanceBins = 6
+	fuseBins    = tunespace.MaxFuse - 1
 )
 
 // normalization caps, chosen so every encountered value lands in [0, 1].
@@ -140,18 +150,30 @@ func (v Vector) Get(i int) float64 {
 // NNZ returns the number of stored (non-zero) components.
 func (v Vector) NNZ() int { return len(v.Idx) }
 
-// Dot returns the inner product with a dense weight vector of length Dim.
+// Dot returns the inner product with a dense weight vector of up to length
+// Dim. Indices beyond len(w) contribute zero: a model trained under an older,
+// narrower encoding scores vectors of the current encoding as if every added
+// feature had zero weight, which keeps persisted models valid across encoding
+// growth. Indices are sorted ascending, so the scan stops at the first
+// out-of-range one.
 func (v Vector) Dot(w []float64) float64 {
 	var s float64
 	for i, idx := range v.Idx {
+		if int(idx) >= len(w) {
+			break
+		}
 		s += v.Val[i] * w[idx]
 	}
 	return s
 }
 
-// AddInto accumulates scale*v into the dense vector w.
+// AddInto accumulates scale*v into the dense vector w, ignoring indices
+// beyond len(w) under the same older-encoding convention as Dot.
 func (v Vector) AddInto(w []float64, scale float64) {
 	for i, idx := range v.Idx {
+		if int(idx) >= len(w) {
+			break
+		}
 		w[idx] += scale * v.Val[i]
 	}
 }
@@ -383,6 +405,29 @@ func (e *Encoder) Encode(q stencil.Instance, t tunespace.Vector) Vector {
 			float64(ceilDiv(sz.Z, max(1, t.Bz)))
 		groups := math.Max(1, tiles/float64(t.C))
 		b.put(idxBalanceBin0+binIndex(log2(groups), 0, 18, balanceBins), 1)
+	}
+
+	// Temporal-fusion block: emitted only for genuinely fused vectors, so an
+	// unfused vector's encoding is byte-identical to the pre-fusion one.
+	if kf := t.EffFuse(); kf > 1 {
+		fu := float64(kf-1) / float64(tunespace.MaxFuse-1)
+		if e.blocks.Tuning {
+			b.put(idxFuse, clamp01(fu))
+			b.put(idxFuse2, clamp01(fu*fu))
+		}
+		if e.blocks.Interactions {
+			// Fusion pays off in proportion to how DRAM-bound the sweep is:
+			// the interactions couple depth to stencil density and to the
+			// spatial tile's working set.
+			density := float64(k.Shape.TotalAccesses()) / maxAccesses
+			b.put(idxFuseDensity, clamp01(fu*density))
+			ws := float64(min(t.Bx, sz.X)) * float64(min(t.By, sz.Y)) *
+				float64(min(t.Bz, sz.Z)) * float64(k.Type.Bytes()) * float64(k.Buffers)
+			b.put(idxFuseWS, clamp01(fu*log2(ws)/maxLogWS))
+		}
+		if e.blocks.Tuning {
+			b.put(idxFuseBin0+kf-2, 1)
+		}
 	}
 
 	return Vector{Idx: b.idx, Val: b.val}

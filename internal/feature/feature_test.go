@@ -319,3 +319,91 @@ func TestFeatureNamesKnownValues(t *testing.T) {
 		t.Errorf("ws bin name = %q", got)
 	}
 }
+
+// TestFusionFeaturesGatedOnDepth pins the forward-compatibility contract of
+// the fusion block: unfused vectors (K = 0 or 1) encode exactly as before the
+// block existed, fused vectors append it at the tail, and deeper fusion
+// changes the encoding.
+func TestFusionFeaturesGatedOnDepth(t *testing.T) {
+	e := NewEncoder()
+	q := laplacianInstance()
+	base := someTuning()
+
+	k0, k1 := base, base
+	k0.K = 0
+	k1.K = 1
+	v0, v1 := e.Encode(q, k0), e.Encode(q, k1)
+	if DiffSquaredNorm(v0, v1) != 0 {
+		t.Fatal("K=0 and K=1 must encode identically")
+	}
+	for _, idx := range v1.Idx {
+		if int(idx) >= idxFuse {
+			t.Fatalf("unfused vector emits fusion feature %s", Name(int(idx)))
+		}
+	}
+
+	prev := v1
+	for kf := 2; kf <= tunespace.MaxFuse; kf++ {
+		tv := base
+		tv.K = kf
+		v := e.Encode(q, tv)
+		if v.Get(idxFuse) == 0 {
+			t.Fatalf("K=%d vector missing linear fuse feature", kf)
+		}
+		if v.Get(idxFuseBin0+kf-2) != 1 {
+			t.Fatalf("K=%d vector missing one-hot fuse bin", kf)
+		}
+		if DiffSquaredNorm(prev, v) == 0 {
+			t.Fatalf("K=%d encodes identically to K=%d", kf, kf-1)
+		}
+		// The fused encoding is the unfused one plus a pure tail extension:
+		// every pre-fusion component is unchanged.
+		for i, idx := range v.Idx {
+			if int(idx) >= idxFuse {
+				continue
+			}
+			if v1.Get(int(idx)) != v.Val[i] {
+				t.Fatalf("K=%d changed pre-fusion feature %s", kf, Name(int(idx)))
+			}
+		}
+		prev = v
+	}
+}
+
+// TestOlderModelIgnoresFusionTail pins that a weight vector of the
+// pre-fusion dimensionality scores fused vectors as if the fusion features
+// had zero weight.
+func TestOlderModelIgnoresFusionTail(t *testing.T) {
+	e := NewEncoder()
+	q := laplacianInstance()
+	unfused := someTuning()
+	fused := unfused
+	fused.K = 4
+
+	oldW := make([]float64, idxFuse) // pre-fusion encoding width
+	for i := range oldW {
+		oldW[i] = 0.01 * float64(i%7)
+	}
+	vu, vf := e.Encode(q, unfused), e.Encode(q, fused)
+	if vu.Dot(oldW) != vf.Dot(oldW) {
+		t.Fatal("older model must score fused and unfused vectors identically")
+	}
+	got := make([]float64, idxFuse)
+	vf.AddInto(got, 1)
+	want := make([]float64, idxFuse)
+	vu.AddInto(want, 1)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("AddInto leaked fusion features into index %d", i)
+		}
+	}
+}
+
+func TestFusionFeatureNames(t *testing.T) {
+	if got := Name(idxFuse); got != "fuse" {
+		t.Errorf("Name(idxFuse) = %q", got)
+	}
+	if got := Name(idxFuseBin0 + 1); got != "fuse-bin[k=3]" {
+		t.Errorf("Name(idxFuseBin0+1) = %q", got)
+	}
+}

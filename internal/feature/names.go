@@ -107,6 +107,16 @@ func Name(idx int) string {
 		return fmt.Sprintf("chunk-bin[%d]", idx-idxChunkBin0)
 	case idx >= idxBalanceBin0 && idx < idxBalanceBin0+balanceBins:
 		return fmt.Sprintf("balance-bin[%d]", idx-idxBalanceBin0)
+	case idx == idxFuse:
+		return "fuse"
+	case idx == idxFuse2:
+		return "fuse^2"
+	case idx == idxFuseDensity:
+		return "fuse*density"
+	case idx == idxFuseWS:
+		return "fuse*log-ws"
+	case idx >= idxFuseBin0 && idx < idxFuseBin0+fuseBins:
+		return fmt.Sprintf("fuse-bin[k=%d]", idx-idxFuseBin0+2)
 	default:
 		return fmt.Sprintf("feature(%d)", idx)
 	}

@@ -160,10 +160,17 @@ func (m *Model) Evaluate(q stencil.Instance, t tunespace.Vector) Breakdown {
 	// otherwise the per-core share of derated DRAM bandwidth.
 	gridBytes := float64(sz.Points()) * bytes * float64(k.Buffers+1)
 	b.BandwidthGBs = mach.MemBandwidthGBs * dramEff / float64(mach.Cores)
+	cacheResident := false
+	cacheBW := b.BandwidthGBs
 	for _, c := range mach.Caches {
-		if c.Shared && gridBytes <= float64(c.SizeBytes) {
-			b.BandwidthGBs = c.BandwidthGBs
-			break
+		if c.Shared {
+			if cacheBW < c.BandwidthGBs {
+				cacheBW = c.BandwidthGBs
+			}
+			if gridBytes <= float64(c.SizeBytes) {
+				cacheResident = true
+				b.BandwidthGBs = c.BandwidthGBs
+			}
 		}
 	}
 	b.MemNsPerPoint = b.TrafficPerPoint / b.BandwidthGBs
@@ -208,6 +215,34 @@ func (m *Model) Evaluate(q stencil.Instance, t tunespace.Vector) Breakdown {
 		b.TLBPenalty = 1 + 0.25*math.Log2(streams/tlbEntries)
 	}
 
+	// --- Temporal fusion ----------------------------------------------------
+	// A fusion depth above 1 executes K timesteps per sweep through the
+	// wavefront engine (exec.FusedProgram). Modeled per-step effects, all
+	// gated on EffFuse() > 1 so unfused evaluations are bit-identical to the
+	// pre-fusion model:
+	//   - DRAM-bound grids amortize the compulsory traffic over K steps;
+	//     intermediate levels stream through the shared cache instead.
+	//     Cache-resident grids keep their bandwidth (fusion cannot help).
+	//   - Redundant recomputation: the K-1 intermediate levels each extend
+	//     the sweep by wrapped extension planes near the periodic seam.
+	//   - Wavefront synchronization: one worker rendezvous per stream plane
+	//     instead of one per sweep.
+	var fusedSyncNs float64
+	if kf := t.EffFuse(); kf > 1 && k.Buffers == 1 {
+		streamExtent := sz.Z
+		if sz.Is2D() {
+			streamExtent = sz.Y
+		}
+		if !cacheResident {
+			b.MemNsPerPoint = b.MemNsPerPoint/float64(kf) +
+				(1-1/float64(kf))*b.TrafficPerPoint/cacheBW
+		}
+		redundancy := 1 + float64((kf-1)*off)/float64(max(1, streamExtent))
+		b.CompNsPerPoint *= redundancy
+		iterations := float64(streamExtent + (kf-1)*(2*off+1))
+		fusedSyncNs = iterations * mach.ThreadSpawnOverheadNs / float64(kf)
+	}
+
 	// Roofline combination: overlap memory and compute, pay overheads on top.
 	perPoint := math.Max(b.MemNsPerPoint*b.TLBPenalty, b.CompNsPerPoint) + b.OverheadNs
 
@@ -231,7 +266,7 @@ func (m *Model) Evaluate(q stencil.Instance, t tunespace.Vector) Breakdown {
 
 	totalWorkNs := float64(sz.Points()) * perPoint
 	execNs := totalWorkNs / b.Parallelism
-	b.DispatchNs = float64(b.Groups) * mach.ThreadSpawnOverheadNs / cores
+	b.DispatchNs = float64(b.Groups)*mach.ThreadSpawnOverheadNs/cores + fusedSyncNs
 	totalNs := execNs + b.DispatchNs
 
 	// Deterministic noise.
@@ -264,6 +299,11 @@ func (m *Model) hash01(q stencil.Instance, t tunespace.Vector) float64 {
 	writeU64(uint64(t.Bz))
 	writeU64(uint64(t.U))
 	writeU64(uint64(t.C))
+	// Fusion depth joins the hash only when it changes execution (EffFuse > 1),
+	// so every pre-fusion simulated measurement is reproduced bit-identically.
+	if kf := t.EffFuse(); kf > 1 {
+		writeU64(uint64(kf))
+	}
 	return float64(h.Sum64()>>11) / float64(1<<53)
 }
 

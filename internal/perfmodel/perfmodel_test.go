@@ -324,3 +324,50 @@ func TestModelConcurrentEvaluation(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestFusionDepthOneIsIdentity pins that K = 0 and K = 1 reproduce the
+// pre-fusion model bit-identically (runtime and noise).
+func TestFusionDepthOneIsIdentity(t *testing.T) {
+	m := model()
+	q := stencil.Instance{Kernel: stencil.Laplacian(), Size: stencil.Size3D(192, 192, 192)}
+	base := tunespace.Vector{Bx: 32, By: 16, Bz: 8, U: 4, C: 2}
+	k0, k1 := base, base
+	k0.K = 0
+	k1.K = 1
+	r := m.Runtime(q, base)
+	if m.Runtime(q, k0) != r || m.Runtime(q, k1) != r {
+		t.Fatal("K=0/K=1 must evaluate bit-identically to the pre-fusion model")
+	}
+}
+
+// TestFusionHelpsDRAMBoundSweep pins the tentpole behaviour: on a grid far
+// beyond the shared cache, fusing a bandwidth-bound stencil reduces the
+// simulated per-step runtime; on a cache-resident grid it does not help.
+func TestFusionHelpsDRAMBoundSweep(t *testing.T) {
+	m := model()
+	m.NoiseAmp = 0
+	big := stencil.Instance{Kernel: stencil.Laplacian(), Size: stencil.Size3D(384, 384, 384)}
+	tv := tunespace.Vector{Bx: 32, By: 16, Bz: 8, U: 2, C: 2}
+	fused := tv
+	fused.K = 4
+	if rf, r1 := m.Runtime(big, fused), m.Runtime(big, tv); rf >= r1 {
+		t.Errorf("fusion on DRAM-bound sweep: fused %g >= unfused %g", rf, r1)
+	}
+	small := stencil.Instance{Kernel: stencil.Laplacian(), Size: stencil.Size3D(48, 48, 48)}
+	if rf, r1 := m.Runtime(small, fused), m.Runtime(small, tv); rf < r1 {
+		t.Errorf("fusion on cache-resident sweep should not win: fused %g < unfused %g", rf, r1)
+	}
+}
+
+// TestFusionDepthPerturbsNoise pins that distinct fused depths get
+// independent noise draws (they are distinct executions).
+func TestFusionDepthPerturbsNoise(t *testing.T) {
+	m := model()
+	q := stencil.Instance{Kernel: stencil.Laplacian(), Size: stencil.Size3D(256, 256, 256)}
+	tv2 := tunespace.Vector{Bx: 32, By: 16, Bz: 8, U: 2, C: 2, K: 2}
+	tv3 := tv2
+	tv3.K = 3
+	if m.hash01(q, tv2) == m.hash01(q, tv3) {
+		t.Error("different fusion depths share a noise draw")
+	}
+}

@@ -237,15 +237,15 @@ func (de *DifferentialEvolution) SearchBatch(space tunespace.Space, obj BatchObj
 // with probability cr, and one uniformly chosen gene always does (so the
 // trial never degenerates to a copy of the current individual).
 func binCrossover(rng *rand.Rand, space tunespace.Space, mutant, cur tunespace.Vector, cr float64) tunespace.Vector {
-	genes := [5]int{cur.Bx, cur.By, cur.Bz, cur.U, cur.C}
-	mut := [5]int{mutant.Bx, mutant.By, mutant.Bz, mutant.U, mutant.C}
-	forced := rng.Intn(5)
+	genes := [6]int{cur.Bx, cur.By, cur.Bz, cur.U, cur.C, cur.EffFuse()}
+	mut := [6]int{mutant.Bx, mutant.By, mutant.Bz, mutant.U, mutant.C, mutant.EffFuse()}
+	forced := rng.Intn(len(genes))
 	for g := range genes {
 		if g == forced || rng.Float64() < cr {
 			genes[g] = mut[g]
 		}
 	}
-	return space.Clamp(tunespace.Vector{Bx: genes[0], By: genes[1], Bz: genes[2], U: genes[3], C: genes[4]})
+	return space.Clamp(tunespace.Vector{Bx: genes[0], By: genes[1], Bz: genes[2], U: genes[3], C: genes[4], K: genes[5]})
 }
 
 // ---------------------------------------------------------------------------

@@ -213,23 +213,28 @@ func (s *Server) StartDraining() { s.draining.Store(true) }
 // Wire types
 
 // vectorJSON is the tuning vector on the wire. A 2-D request may omit bz
-// (normalized to the required bz=1).
+// (normalized to the required bz=1); k may be omitted for unfused vectors
+// (normalized to the equivalent k=1).
 type vectorJSON struct {
 	Bx int `json:"bx"`
 	By int `json:"by"`
 	Bz int `json:"bz,omitempty"`
 	U  int `json:"u"`
 	C  int `json:"c"`
+	K  int `json:"k,omitempty"`
 }
 
 func fromVector(v tunespace.Vector) vectorJSON {
-	return vectorJSON{Bx: v.Bx, By: v.By, Bz: v.Bz, U: v.U, C: v.C}
+	return vectorJSON{Bx: v.Bx, By: v.By, Bz: v.Bz, U: v.U, C: v.C, K: v.EffFuse()}
 }
 
 func (v vectorJSON) toVector(dims int) tunespace.Vector {
-	out := tunespace.Vector{Bx: v.Bx, By: v.By, Bz: v.Bz, U: v.U, C: v.C}
+	out := tunespace.Vector{Bx: v.Bx, By: v.By, Bz: v.Bz, U: v.U, C: v.C, K: v.K}
 	if dims == 2 && out.Bz == 0 {
 		out.Bz = 1
+	}
+	if out.K == 0 {
+		out.K = 1
 	}
 	return out
 }

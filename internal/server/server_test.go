@@ -57,9 +57,12 @@ func vectorFrom(t *testing.T, m map[string]any, field string) tunespace.Vector {
 		f, _ := b[k].(float64)
 		return int(f)
 	}
-	v := tunespace.Vector{Bx: iv("bx"), By: iv("by"), Bz: iv("bz"), U: iv("u"), C: iv("c")}
+	v := tunespace.Vector{Bx: iv("bx"), By: iv("by"), Bz: iv("bz"), U: iv("u"), C: iv("c"), K: iv("k")}
 	if v.Bz == 0 {
 		v.Bz = 1
+	}
+	if v.K == 0 {
+		v.K = 1
 	}
 	return v
 }

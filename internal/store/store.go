@@ -298,10 +298,14 @@ func LoadDir(dir string) (*Artifact, error) {
 	if len(pm.W) != pm.FeatureDim {
 		return nil, fmt.Errorf("store: artifact %s: %d weights, declared dim %d", dir, len(pm.W), pm.FeatureDim)
 	}
-	if pm.FeatureDim != feature.Dim {
-		return nil, fmt.Errorf("store: artifact %s was trained with feature dim %d, this build encodes %d",
+	if pm.FeatureDim > feature.Dim {
+		return nil, fmt.Errorf("store: artifact %s was trained with feature dim %d, this build encodes only %d",
 			dir, pm.FeatureDim, feature.Dim)
 	}
+	// A smaller dim means the model predates features appended since (the
+	// encoding only ever grows at the tail). The weights load unchanged —
+	// feature.Vector.Dot treats indices past len(W) as zero weight — so the
+	// artifact keeps scoring exactly as it did when trained.
 	a := &Artifact{
 		Name:  m.Name,
 		Model: &svmrank.Model{W: pm.W, C: pm.C},

@@ -1,9 +1,11 @@
 // Package tunespace models the stencil tuning parameters of Section V of the
-// paper: the tuning vector t = (bx, by, bz, u, c) of loop-blocking sizes,
-// innermost-loop unroll factor and multithreading chunk size, together with
-// the search space they span, random sampling, and the hierarchically-sampled
-// power-of-two predefined configuration sets used by the standalone tuner
-// (1600 configurations for 2-D stencils, 8640 for 3-D — Sec. VI-A).
+// paper: the tuning vector t = (bx, by, bz, u, c, k) of loop-blocking sizes,
+// innermost-loop unroll factor, multithreading chunk size and temporal fusion
+// depth, together with the search space they span, random sampling, and the
+// hierarchically-sampled power-of-two predefined configuration sets used by
+// the standalone tuner (1600 configurations for 2-D stencils, 8640 for 3-D —
+// Sec. VI-A; the fused variants of the predefined set are generated on top
+// of those via PredefinedFused).
 package tunespace
 
 import (
@@ -22,26 +24,48 @@ const (
 	MaxUnroll = 8
 	MinChunk  = 1
 	MaxChunk  = 16
+	// Temporal fusion depth (timesteps advanced per grid sweep). 0 and 1
+	// both mean "no fusion"; deeper fusion trades redundant halo
+	// recomputation for DRAM-traffic reuse and stops paying off quickly,
+	// so the space caps at 4 fused steps.
+	MinFuse = 0
+	MaxFuse = 4
 )
 
-// Vector is the tuning vector t = (bx, by, bz, u, c). For 2-D stencils Bz is
-// fixed to 1 and ignored by the generated code.
+// Vector is the tuning vector t = (bx, by, bz, u, c, k). For 2-D stencils Bz
+// is fixed to 1 and ignored by the generated code. K is the temporal fusion
+// depth: how many timesteps a single fused sweep advances; 0 and 1 are
+// equivalent (plain single-step execution), mirroring how Bz=1 marks the
+// degenerate axis in 2-D.
 type Vector struct {
 	Bx, By, Bz int // loop blocking (tile) sizes per dimension
 	U          int // innermost-loop unroll factor, 0 = none
 	C          int // chunk size: consecutive tiles per thread assignment
+	K          int // temporal fusion depth, 0 or 1 = unfused
+}
+
+// EffFuse returns the effective fusion depth: K normalized so that the legacy
+// zero value and an explicit 1 both mean "one timestep per sweep".
+func (v Vector) EffFuse() int {
+	if v.K < 1 {
+		return 1
+	}
+	return v.K
 }
 
 func (v Vector) String() string {
-	return fmt.Sprintf("(bx=%d,by=%d,bz=%d,u=%d,c=%d)", v.Bx, v.By, v.Bz, v.U, v.C)
+	return fmt.Sprintf("(bx=%d,by=%d,bz=%d,u=%d,c=%d,k=%d)", v.Bx, v.By, v.Bz, v.U, v.C, v.EffFuse())
 }
 
 // AppendFields appends the vector's components to dst as canonical
 // little-endian int64s. It is the single definition of a tuning vector's
 // hashable identity — dataset fingerprints and serving cache keys both build
-// on it, so a future field extends every fingerprint in one place.
+// on it, so a future field extends every fingerprint in one place. The fusion
+// depth is appended in its normalized EffFuse form: K=0 and K=1 are the same
+// configuration and must hash identically, while vectors differing only in
+// effective fusion depth must never alias.
 func (v Vector) AppendFields(dst []byte) []byte {
-	for _, f := range [...]int{v.Bx, v.By, v.Bz, v.U, v.C} {
+	for _, f := range [...]int{v.Bx, v.By, v.Bz, v.U, v.C, v.EffFuse()} {
 		dst = binary.LittleEndian.AppendUint64(dst, uint64(int64(f)))
 	}
 	return dst
@@ -75,6 +99,9 @@ func (v Vector) Validate(dims int) error {
 	if v.C < MinChunk || v.C > MaxChunk {
 		return fmt.Errorf("tunespace: c=%d outside [%d,%d]", v.C, MinChunk, MaxChunk)
 	}
+	if v.K < MinFuse || v.K > MaxFuse {
+		return fmt.Errorf("tunespace: k=%d outside [%d,%d]", v.K, MinFuse, MaxFuse)
+	}
 	return nil
 }
 
@@ -103,6 +130,7 @@ func (s Space) Clamp(v Vector) Vector {
 	}
 	v.U = clampInt(v.U, MinUnroll, MaxUnroll)
 	v.C = clampInt(v.C, MinChunk, MaxChunk)
+	v.K = clampInt(v.EffFuse(), 1, MaxFuse)
 	return v
 }
 
@@ -119,6 +147,7 @@ func (s Space) Random(rng *rand.Rand) Vector {
 		Bz: 1,
 		U:  MinUnroll + rng.Intn(MaxUnroll-MinUnroll+1),
 		C:  MinChunk + rng.Intn(MaxChunk-MinChunk+1),
+		K:  1 + rng.Intn(MaxFuse),
 	}
 	if s.Dims == 3 {
 		v.Bz = randomBlock(rng)
@@ -165,6 +194,9 @@ func (s Space) Mutate(rng *rand.Rand, v Vector, rate float64) Vector {
 	if rng.Float64() < rate {
 		v.C += rng.Intn(5) - 2
 	}
+	if rng.Float64() < rate {
+		v.K = v.EffFuse() + rng.Intn(3) - 1
+	}
 	return s.Clamp(v)
 }
 
@@ -182,6 +214,7 @@ func (s Space) Crossover(rng *rand.Rand, a, b Vector) Vector {
 		Bz: pick(a.Bz, b.Bz),
 		U:  pick(a.U, b.U),
 		C:  pick(a.C, b.C),
+		K:  pick(a.EffFuse(), b.EffFuse()),
 	})
 }
 
@@ -196,6 +229,7 @@ func (s Space) Blend(a, b, c Vector, f float64) Vector {
 		Bz: mix(a.Bz, b.Bz, c.Bz),
 		U:  mix(a.U, b.U, c.U),
 		C:  mix(a.C, b.C, c.C),
+		K:  mix(a.EffFuse(), b.EffFuse(), c.EffFuse()),
 	})
 }
 
@@ -232,7 +266,7 @@ func (s Space) Predefined() []Vector {
 			for _, by := range powersOfTwo(1, 10) {
 				for _, u := range unrolls {
 					for _, c := range chunks {
-						out = append(out, Vector{bx, by, 1, u, c})
+						out = append(out, Vector{Bx: bx, By: by, Bz: 1, U: u, C: c, K: 1})
 					}
 				}
 			}
@@ -244,10 +278,33 @@ func (s Space) Predefined() []Vector {
 			for _, bz := range powersOfTwo(1, 6) {
 				for _, u := range unrolls {
 					for _, c := range chunks {
-						out = append(out, Vector{bx, by, bz, u, c})
+						out = append(out, Vector{Bx: bx, By: by, Bz: bz, U: u, C: c, K: 1})
 					}
 				}
 			}
+		}
+	}
+	return out
+}
+
+// PredefinedFused expands the predefined configuration set across the given
+// fusion depths (each depth duplicates the spatial set with K set). Depths
+// outside [1, MaxFuse] are ignored; with no depths it defaults to {1, 2, 4},
+// keeping the fused predefined set a small constant factor over the paper's
+// spatial-only sets.
+func (s Space) PredefinedFused(depths ...int) []Vector {
+	if len(depths) == 0 {
+		depths = []int{1, 2, 4}
+	}
+	base := s.Predefined()
+	out := make([]Vector, 0, len(base)*len(depths))
+	for _, k := range depths {
+		if k < 1 || k > MaxFuse {
+			continue
+		}
+		for _, v := range base {
+			v.K = k
+			out = append(out, v)
 		}
 	}
 	return out

@@ -7,11 +7,11 @@ import (
 )
 
 func TestValidate(t *testing.T) {
-	ok3 := Vector{64, 32, 16, 4, 2}
+	ok3 := Vector{64, 32, 16, 4, 2, 2}
 	if err := ok3.Validate(3); err != nil {
 		t.Errorf("valid 3-D vector rejected: %v", err)
 	}
-	ok2 := Vector{64, 32, 1, 0, 1}
+	ok2 := Vector{64, 32, 1, 0, 1, 0}
 	if err := ok2.Validate(2); err != nil {
 		t.Errorf("valid 2-D vector rejected: %v", err)
 	}
@@ -19,15 +19,17 @@ func TestValidate(t *testing.T) {
 		v    Vector
 		dims int
 	}{
-		{Vector{1, 32, 16, 4, 2}, 3},    // bx too small
-		{Vector{2048, 32, 16, 4, 2}, 3}, // bx too large
-		{Vector{64, 0, 16, 4, 2}, 3},    // by too small
-		{Vector{64, 32, 1, 4, 2}, 3},    // bz too small for 3-D
-		{Vector{64, 32, 16, -1, 2}, 3},  // u negative
-		{Vector{64, 32, 16, 9, 2}, 3},   // u too large
-		{Vector{64, 32, 16, 4, 0}, 3},   // c too small
-		{Vector{64, 32, 16, 4, 17}, 3},  // c too large
-		{Vector{64, 32, 16, 4, 2}, 2},   // 2-D must have bz=1
+		{Vector{1, 32, 16, 4, 2, 1}, 3},    // bx too small
+		{Vector{2048, 32, 16, 4, 2, 1}, 3}, // bx too large
+		{Vector{64, 0, 16, 4, 2, 1}, 3},    // by too small
+		{Vector{64, 32, 1, 4, 2, 1}, 3},    // bz too small for 3-D
+		{Vector{64, 32, 16, -1, 2, 1}, 3},  // u negative
+		{Vector{64, 32, 16, 9, 2, 1}, 3},   // u too large
+		{Vector{64, 32, 16, 4, 0, 1}, 3},   // c too small
+		{Vector{64, 32, 16, 4, 17, 1}, 3},  // c too large
+		{Vector{64, 32, 16, 4, 2, 1}, 2},   // 2-D must have bz=1
+		{Vector{64, 32, 16, 4, 2, -1}, 3},  // k negative
+		{Vector{64, 32, 16, 4, 2, 5}, 3},   // k above MaxFuse
 	}
 	for _, c := range bad {
 		if err := c.v.Validate(c.dims); err == nil {
@@ -47,15 +49,15 @@ func TestNewSpacePanicsOnBadDims(t *testing.T) {
 
 func TestClamp(t *testing.T) {
 	s3 := NewSpace(3)
-	v := s3.Clamp(Vector{0, 99999, -5, 100, -3})
+	v := s3.Clamp(Vector{0, 99999, -5, 100, -3, 99})
 	if err := v.Validate(3); err != nil {
 		t.Errorf("clamped vector invalid: %v (%v)", err, v)
 	}
-	if v.Bx != MinBlock || v.By != MaxBlock || v.Bz != MinBlock || v.U != MaxUnroll || v.C != MinChunk {
+	if v.Bx != MinBlock || v.By != MaxBlock || v.Bz != MinBlock || v.U != MaxUnroll || v.C != MinChunk || v.K != MaxFuse {
 		t.Errorf("clamp wrong: %v", v)
 	}
 	s2 := NewSpace(2)
-	if got := s2.Clamp(Vector{4, 4, 64, 2, 2}); got.Bz != 1 {
+	if got := s2.Clamp(Vector{4, 4, 64, 2, 2, 0}); got.Bz != 1 {
 		t.Errorf("2-D clamp should force bz=1, got %d", got.Bz)
 	}
 }
@@ -154,7 +156,7 @@ func TestMutateStaysLegal(t *testing.T) {
 func TestMutateRateZeroIsIdentityModuloClamp(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	s := NewSpace(3)
-	v := Vector{64, 64, 64, 4, 4}
+	v := Vector{64, 64, 64, 4, 4, 2}
 	for i := 0; i < 100; i++ {
 		if got := s.Mutate(rng, v, 0); got != v {
 			t.Fatalf("rate-0 mutation changed vector: %v -> %v", v, got)
@@ -165,13 +167,13 @@ func TestMutateRateZeroIsIdentityModuloClamp(t *testing.T) {
 func TestCrossoverGenesComeFromParents(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	s := NewSpace(3)
-	a := Vector{4, 8, 16, 2, 1}
-	b := Vector{256, 512, 64, 8, 8}
+	a := Vector{4, 8, 16, 2, 1, 1}
+	b := Vector{256, 512, 64, 8, 8, 4}
 	for i := 0; i < 200; i++ {
 		c := s.Crossover(rng, a, b)
 		if (c.Bx != a.Bx && c.Bx != b.Bx) || (c.By != a.By && c.By != b.By) ||
 			(c.Bz != a.Bz && c.Bz != b.Bz) || (c.U != a.U && c.U != b.U) ||
-			(c.C != a.C && c.C != b.C) {
+			(c.C != a.C && c.C != b.C) || (c.K != a.K && c.K != b.K) {
 			t.Fatalf("crossover introduced foreign gene: %v", c)
 		}
 	}
@@ -179,9 +181,9 @@ func TestCrossoverGenesComeFromParents(t *testing.T) {
 
 func TestBlendClamps(t *testing.T) {
 	s := NewSpace(3)
-	a := Vector{2, 2, 2, 0, 1}
-	b := Vector{1024, 1024, 1024, 8, 16}
-	c := Vector{2, 2, 2, 0, 1}
+	a := Vector{2, 2, 2, 0, 1, 1}
+	b := Vector{1024, 1024, 1024, 8, 16, 4}
+	c := Vector{2, 2, 2, 0, 1, 1}
 	out := s.Blend(a, b, c, 2.0) // strongly amplified difference
 	if err := out.Validate(3); err != nil {
 		t.Errorf("blend result invalid: %v (%v)", err, out)
@@ -214,8 +216,8 @@ func TestRandomSetDistinct(t *testing.T) {
 
 func TestPropertyClampIdempotent(t *testing.T) {
 	s := NewSpace(3)
-	f := func(bx, by, bz, u, c int) bool {
-		v := s.Clamp(Vector{bx % 4096, by % 4096, bz % 4096, u % 32, c % 64})
+	f := func(bx, by, bz, u, c, k int) bool {
+		v := s.Clamp(Vector{bx % 4096, by % 4096, bz % 4096, u % 32, c % 64, k % 16})
 		return s.Clamp(v) == v && v.Validate(3) == nil
 	}
 	if err := quick.Check(f, nil); err != nil {
@@ -226,8 +228,8 @@ func TestPropertyClampIdempotent(t *testing.T) {
 func TestPropertyContainsAfterClamp(t *testing.T) {
 	for _, dims := range []int{2, 3} {
 		s := NewSpace(dims)
-		f := func(bx, by, bz, u, c int16) bool {
-			return s.Contains(s.Clamp(Vector{int(bx), int(by), int(bz), int(u), int(c)}))
+		f := func(bx, by, bz, u, c, k int16) bool {
+			return s.Contains(s.Clamp(Vector{int(bx), int(by), int(bz), int(u), int(c), int(k)}))
 		}
 		if err := quick.Check(f, nil); err != nil {
 			t.Errorf("dims=%d: %v", dims, err)
@@ -236,9 +238,93 @@ func TestPropertyContainsAfterClamp(t *testing.T) {
 }
 
 func TestVectorString(t *testing.T) {
-	got := Vector{64, 32, 16, 4, 2}.String()
-	want := "(bx=64,by=32,bz=16,u=4,c=2)"
+	got := Vector{64, 32, 16, 4, 2, 3}.String()
+	want := "(bx=64,by=32,bz=16,u=4,c=2,k=3)"
 	if got != want {
 		t.Errorf("String = %q, want %q", got, want)
+	}
+	// The legacy zero value and an explicit k=1 print identically.
+	got = Vector{64, 32, 16, 4, 2, 0}.String()
+	want = "(bx=64,by=32,bz=16,u=4,c=2,k=1)"
+	if got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestEffFuseNormalizesZero(t *testing.T) {
+	if got := (Vector{K: 0}).EffFuse(); got != 1 {
+		t.Errorf("EffFuse(0) = %d, want 1", got)
+	}
+	if got := (Vector{K: 1}).EffFuse(); got != 1 {
+		t.Errorf("EffFuse(1) = %d, want 1", got)
+	}
+	if got := (Vector{K: 3}).EffFuse(); got != 3 {
+		t.Errorf("EffFuse(3) = %d, want 3", got)
+	}
+}
+
+func TestAppendFieldsFuseIdentity(t *testing.T) {
+	base := Vector{Bx: 32, By: 16, Bz: 8, U: 4, C: 2}
+	k0 := base
+	k1, k2 := base, base
+	k1.K, k2.K = 1, 2
+	b0 := string(k0.AppendFields(nil))
+	b1 := string(k1.AppendFields(nil))
+	b2 := string(k2.AppendFields(nil))
+	// k=0 and k=1 are the same configuration and must hash identically so
+	// compiled-program caches and serving caches keep hitting.
+	if b0 != b1 {
+		t.Error("AppendFields distinguishes k=0 from k=1; they are the same configuration")
+	}
+	// A genuinely different fusion depth must never alias.
+	if b1 == b2 {
+		t.Error("AppendFields does not distinguish fusion depths k=1 and k=2")
+	}
+}
+
+func TestRandomCoversFuseRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := NewSpace(3)
+	saw := map[int]bool{}
+	for i := 0; i < 2000; i++ {
+		saw[s.Random(rng).K] = true
+	}
+	for k := 1; k <= MaxFuse; k++ {
+		if !saw[k] {
+			t.Errorf("random sampling never drew fusion depth %d", k)
+		}
+	}
+	if saw[0] || saw[MaxFuse+1] {
+		t.Errorf("random sampling drew out-of-range fusion depth: %v", saw)
+	}
+}
+
+func TestPredefinedFused(t *testing.T) {
+	s := NewSpace(2)
+	base := len(s.Predefined())
+	fused := s.PredefinedFused()
+	if len(fused) != 3*base {
+		t.Fatalf("default PredefinedFused size = %d, want %d", len(fused), 3*base)
+	}
+	seen := map[Vector]bool{}
+	depths := map[int]bool{}
+	for _, v := range fused {
+		if err := v.Validate(2); err != nil {
+			t.Fatalf("fused predefined %v invalid: %v", v, err)
+		}
+		if seen[v] {
+			t.Fatalf("duplicate fused predefined %v", v)
+		}
+		seen[v] = true
+		depths[v.K] = true
+	}
+	if !depths[1] || !depths[2] || !depths[4] {
+		t.Errorf("default fused depths = %v, want {1,2,4}", depths)
+	}
+	if got := s.PredefinedFused(1); len(got) != base {
+		t.Errorf("PredefinedFused(1) size = %d, want %d", len(got), base)
+	}
+	if got := s.PredefinedFused(0, 9); len(got) != 0 {
+		t.Errorf("out-of-range depths should be ignored, got %d vectors", len(got))
 	}
 }

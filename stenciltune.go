@@ -71,7 +71,8 @@ type (
 	// Instance is a kernel paired with an input size — the unit the tuner
 	// optimizes.
 	Instance = stencil.Instance
-	// TuningVector is t = (bx, by, bz, u, c).
+	// TuningVector is t = (bx, by, bz, u, c, k); k is the temporal fusion
+	// depth (0 or 1 = unfused).
 	TuningVector = tunespace.Vector
 	// Evaluator maps an execution to a runtime in seconds.
 	Evaluator = dataset.Evaluator
