@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"log"
@@ -169,6 +170,174 @@ func TestRunRejectsMissingModelDir(t *testing.T) {
 	opts.logger = log.New(io.Discard, "", 0)
 	if err := run(opts); err == nil {
 		t.Fatal("run with a missing model dir returned nil")
+	}
+}
+
+// modelsDoc is the slice of GET /v1/models this file asserts on.
+type modelsDoc struct {
+	Default         string `json:"default"`
+	RegistryVersion int64  `json:"registry_version"`
+}
+
+func getModels(t *testing.T, base string) modelsDoc {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/models")
+	if err != nil {
+		t.Fatalf("GET /v1/models: %v", err)
+	}
+	defer resp.Body.Close()
+	var doc modelsDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("decoding /v1/models: %v", err)
+	}
+	return doc
+}
+
+// TestSIGHUPReloadsRegistry: HUP must hot-swap the model registry in place —
+// the generation counter advances and the server keeps answering — without
+// any drain or restart.
+func TestSIGHUPReloadsRegistry(t *testing.T) {
+	addr, signals, closed, done := startRun(t, serveOpts())
+	base := "http://" + addr.String()
+	if doc := getModels(t, base); doc.RegistryVersion != 1 {
+		t.Fatalf("fresh server serves registry generation %d, want 1", doc.RegistryVersion)
+	}
+
+	signals <- syscall.SIGHUP
+	deadline := time.Now().Add(5 * time.Second)
+	for getModels(t, base).RegistryVersion < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("registry generation never advanced after SIGHUP")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if got := closed.Load(); got != 0 {
+		t.Fatalf("SIGHUP ran the Close chain %d times — it must not shut anything down", got)
+	}
+
+	// The swapped registry answers real requests.
+	resp, err := http.Post(base+"/v1/tune", "application/json",
+		strings.NewReader(`{"model":"tiny","kernel":"laplacian","size":"96x96x96"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tune after SIGHUP reload: status %d", resp.StatusCode)
+	}
+
+	signals <- syscall.SIGTERM
+	if err := <-done; err != nil {
+		t.Fatalf("run returned %v after SIGHUP + SIGTERM, want nil", err)
+	}
+}
+
+// TestPprofOnPrivateListenerOnly: -pprof-addr serves the profiling UI on its
+// own listener, and the public API port must NOT route /debug/pprof.
+func TestPprofOnPrivateListenerOnly(t *testing.T) {
+	opts := serveOpts()
+	opts.pprofAddr = "127.0.0.1:0"
+	pready := make(chan net.Addr, 1)
+	opts.pprofReady = pready
+	addr, signals, _, done := startRun(t, opts)
+	defer func() { signals <- syscall.SIGTERM; <-done }()
+
+	paddr := <-pready
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/goroutine?debug=1"} {
+		resp, err := http.Get("http://" + paddr.String() + path)
+		if err != nil {
+			t.Fatalf("GET %s on pprof listener: %v", path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s on pprof listener: status %d, want 200", path, resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Get("http://" + addr.String() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("public port served /debug/pprof with status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestObserveRetrainPromoteLifecycle drives the whole learning loop through
+// the real binary wiring: client observations land in the WAL via
+// /v1/observe, the count trigger retrains, the canary promotes, and the
+// serving registry hot-swaps to the new model — all without a restart.
+func TestObserveRetrainPromoteLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model; skipped in -short")
+	}
+	models := t.TempDir()
+	// The fixture store is read-only testdata; the retrain worker writes
+	// candidates next to the incumbent, so run against a writable clone.
+	if err := os.CopyFS(models, os.DirFS(fixtureModelDir)); err != nil {
+		t.Fatal(err)
+	}
+	opts := serveOpts()
+	opts.models = models
+	opts.wal = t.TempDir()
+	opts.retrainMin = 4
+	opts.retrainPoints = 192
+	opts.retrainPoll = 50 * time.Millisecond
+	addr, signals, _, done := startRun(t, opts)
+	defer func() { signals <- syscall.SIGTERM; <-done }()
+	base := "http://" + addr.String()
+
+	resp, err := http.Post(base+"/v1/observe", "application/json", strings.NewReader(
+		`{"kernel":"laplacian","size":"64x64x64","machine":"e2e-client","observations":[
+			{"vector":{"bx":32,"by":8,"bz":4,"u":2,"c":1},"runtime_seconds":0.010},
+			{"vector":{"bx":16,"by":16,"bz":2,"u":1,"c":1},"runtime_seconds":0.014},
+			{"vector":{"bx":8,"by":4,"bz":2,"u":1,"c":1},"runtime_seconds":0.019},
+			{"vector":{"bx":4,"by":4,"bz":4,"u":1,"c":1},"runtime_seconds":0.023}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ack struct {
+		Accepted int `json:"accepted"`
+		Dropped  int `json:"dropped"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || ack.Accepted != 4 || ack.Dropped != 0 {
+		t.Fatalf("observe: status %d accepted %d dropped %d, want 202/4/0", resp.StatusCode, ack.Accepted, ack.Dropped)
+	}
+
+	// The count trigger fires, the candidate passes the canary (no loadable
+	// incumbent named by the pointer -> first promotion), and OnPromote
+	// hot-swaps the registry.
+	deadline := time.Now().Add(2 * time.Minute)
+	var doc modelsDoc
+	for {
+		doc = getModels(t, base)
+		if doc.Default == "retrained-v1" && doc.RegistryVersion >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no promotion observed: /v1/models = %+v", doc)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// The promoted model actually serves.
+	resp, err = http.Post(base+"/v1/tune", "application/json",
+		strings.NewReader(`{"model":"retrained-v1","kernel":"laplacian","size":"64x64x64"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(b), `"best"`) {
+		t.Fatalf("tune on promoted model: status %d body %.200q", resp.StatusCode, b)
 	}
 }
 

@@ -1,0 +1,313 @@
+package retrain
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/machine"
+	"repro/internal/perfmodel"
+	"repro/internal/stencil"
+	"repro/internal/store"
+	"repro/internal/svmrank"
+	"repro/internal/trainer"
+	"repro/internal/tunespace"
+	"repro/internal/wal"
+)
+
+const testBasePoints = 192
+
+// fitBaseModel trains a reference model on the full synthetic base set (the
+// same simulator and seed the worker uses).
+func fitBaseModel(t *testing.T) *svmrank.Model {
+	t.Helper()
+	set, err := dataset.Generate(perfmodel.New(machine.XeonE52680v3()), dataset.Options{
+		TargetPoints: testBasePoints,
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, _, err := svmrank.Train(set.Data, trainer.DefaultConfig(testBasePoints, 1).SVM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model
+}
+
+func saveIncumbent(t *testing.T, st *store.Store, m *svmrank.Model) {
+	t.Helper()
+	err := st.Save(&store.Artifact{
+		Name:    "default",
+		Model:   m,
+		Meta:    store.Meta{FeatureDim: len(m.W), Mode: "sim"},
+		Machine: machine.XeonE52680v3(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func negated(m *svmrank.Model) *svmrank.Model {
+	w := make([]float64, len(m.W))
+	for i, v := range m.W {
+		w[i] = -v
+	}
+	return &svmrank.Model{W: w, C: m.C}
+}
+
+// obsInstances are the kernels clients "ran"; distinct from nothing special —
+// observations may cover any instance.
+func obsInstances(t *testing.T) []stencil.Instance {
+	t.Helper()
+	var out []stencil.Instance
+	for _, name := range []string{"laplacian", "divergence"} {
+		k, err := stencil.KernelByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, stencil.Instance{Kernel: k, Size: stencil.Size3D(64, 64, 64)})
+	}
+	return out
+}
+
+// writeObservations fills a WAL with per-instance measurements. poison
+// reflects each instance's runtimes around their midpoint, inverting the
+// within-query ordering while keeping every value individually plausible —
+// the shape of a hostile or broken client that validation alone cannot catch.
+func writeObservations(t *testing.T, dir string, perInstance int, poison bool) int {
+	t.Helper()
+	l, _, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := perfmodel.New(machine.XeonE52680v3())
+	total := 0
+	for _, q := range obsInstances(t) {
+		cands := tunespace.NewSpace(q.Kernel.Dims()).Predefined()
+		if perInstance < len(cands) {
+			cands = cands[:perInstance]
+		}
+		runtimes := make([]float64, len(cands))
+		lo, hi := 0.0, 0.0
+		for i, v := range cands {
+			runtimes[i] = sim.Runtime(q, v)
+			if i == 0 || runtimes[i] < lo {
+				lo = runtimes[i]
+			}
+			if runtimes[i] > hi {
+				hi = runtimes[i]
+			}
+		}
+		for i, v := range cands {
+			rt := runtimes[i]
+			if poison {
+				rt = lo + hi - rt
+			}
+			rec := wal.NewRecord(q, v, rt)
+			rec.Machine = "client-7"
+			rec.Source = "observe"
+			rec.Fingerprint = "fp-" + q.Kernel.Name
+			if err := l.Append(rec); err != nil {
+				t.Fatal(err)
+			}
+			total++
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return total
+}
+
+func newWorker(t *testing.T, walDir string, st *store.Store, mutate func(*Config)) *Worker {
+	t.Helper()
+	cfg := Config{
+		WALDir:     walDir,
+		Store:      st,
+		BasePoints: testBasePoints,
+		Seed:       1,
+		MinRecords: 1,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	w, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestPromoteOverWeakIncumbent(t *testing.T) {
+	walDir, storeDir := t.TempDir(), t.TempDir()
+	st, err := store.Open(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The incumbent ranks anti-correlated with truth: any honest retrain
+	// beats it.
+	saveIncumbent(t, st, negated(fitBaseModel(t)))
+	n := writeObservations(t, walDir, 16, false)
+
+	promoted := ""
+	w := newWorker(t, walDir, st, func(c *Config) {
+		c.OnPromote = func(name string) { promoted = name }
+	})
+	out, err := w.RetrainOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Promoted || out.Reason != "canary-pass" {
+		t.Fatalf("outcome %+v, want canary-pass promotion", out)
+	}
+	if out.Records != n || out.SkippedRecords != 0 {
+		t.Fatalf("used %d/%d records, skipped %d", out.Records, n, out.SkippedRecords)
+	}
+	if out.CandidateTau <= out.IncumbentTau {
+		t.Fatalf("candidate τ %.4f not above incumbent τ %.4f", out.CandidateTau, out.IncumbentTau)
+	}
+	if out.Candidate != "retrained-v1" || promoted != "retrained-v1" {
+		t.Fatalf("candidate %q, OnPromote got %q, want retrained-v1", out.Candidate, promoted)
+	}
+	cur, hist, err := st.Current()
+	if err != nil || cur != "retrained-v1" {
+		t.Fatalf("store current = %q (%v), want retrained-v1", cur, err)
+	}
+	if len(hist) != 1 || hist[0].Prev != "default" || hist[0].Records != n {
+		t.Fatalf("promotion history %+v", hist)
+	}
+	// The promoted artifact loads cleanly — never a corrupt served model.
+	if _, err := st.Load("retrained-v1"); err != nil {
+		t.Fatalf("promoted artifact unloadable: %v", err)
+	}
+}
+
+func TestRejectPoisonedObservations(t *testing.T) {
+	walDir, storeDir := t.TempDir(), t.TempDir()
+	st, err := store.Open(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A strong incumbent: fitted on the full base set, holdout included.
+	saveIncumbent(t, st, fitBaseModel(t))
+	writeObservations(t, walDir, 48, true)
+
+	w := newWorker(t, walDir, st, func(c *Config) {
+		c.OnPromote = func(string) { t.Error("OnPromote fired for a rejected candidate") }
+	})
+	out, err := w.RetrainOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Promoted || out.Reason != "canary-fail" {
+		t.Fatalf("outcome %+v, want canary-fail rejection", out)
+	}
+	if out.CandidateTau >= out.IncumbentTau-out.Epsilon {
+		t.Fatalf("candidate τ %.4f did not actually fail the gate against %.4f-%.2f",
+			out.CandidateTau, out.IncumbentTau, out.Epsilon)
+	}
+	// The incumbent keeps serving: no pointer flip.
+	if cur, _, err := st.Current(); err != nil || cur != "" {
+		t.Fatalf("current pointer = %q (%v), want unset", cur, err)
+	}
+	// The rejected candidate stays on disk with its report.
+	if _, err := st.Load(out.Candidate); err != nil {
+		t.Fatalf("rejected candidate not kept: %v", err)
+	}
+	b, err := os.ReadFile(filepath.Join(storeDir, out.Candidate, "rejection.json"))
+	if err != nil {
+		t.Fatalf("no rejection report: %v", err)
+	}
+	if len(b) == 0 {
+		t.Fatal("empty rejection report")
+	}
+}
+
+// TestCrashMidPromotion kills the worker between saving the candidate and
+// flipping current.json: the incumbent must keep serving, the candidate must
+// be intact on disk, and a retried attempt completes the promotion.
+func TestCrashMidPromotion(t *testing.T) {
+	walDir, storeDir := t.TempDir(), t.TempDir()
+	st, err := store.Open(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saveIncumbent(t, st, negated(fitBaseModel(t)))
+	writeObservations(t, walDir, 16, false)
+
+	w := newWorker(t, walDir, st, nil)
+	w.testHookBeforePromote = func() { panic("injected crash before pointer flip") }
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("injected crash did not fire")
+			}
+		}()
+		w.RetrainOnce()
+	}()
+
+	// Pointer untouched: whoever reloads now still serves the incumbent.
+	if cur, _, err := st.Current(); err != nil || cur != "" {
+		t.Fatalf("current = %q (%v) after mid-promotion crash, want unset", cur, err)
+	}
+	// The saved-but-unpromoted candidate is a complete, loadable artifact.
+	if _, err := st.Load("retrained-v1"); err != nil {
+		t.Fatalf("candidate corrupt after crash: %v", err)
+	}
+
+	// A fresh worker (as after restart) retries and completes the promotion
+	// under a new version number — the stranded candidate is never reused.
+	w2 := newWorker(t, walDir, st, nil)
+	out, err := w2.RetrainOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Promoted || out.Candidate != "retrained-v2" {
+		t.Fatalf("retry outcome %+v, want promoted retrained-v2", out)
+	}
+	if cur, _, _ := st.Current(); cur != "retrained-v2" {
+		t.Fatalf("current = %q after retry, want retrained-v2", cur)
+	}
+}
+
+// TestWorkerCountTrigger runs the background loop for real: once MinRecords
+// observations exist, the poll trigger must retrain and promote without any
+// schedule tick.
+func TestWorkerCountTrigger(t *testing.T) {
+	walDir, storeDir := t.TempDir(), t.TempDir()
+	st, err := store.Open(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saveIncumbent(t, st, negated(fitBaseModel(t)))
+	n := writeObservations(t, walDir, 8, false)
+
+	promoted := make(chan string, 1)
+	w := newWorker(t, walDir, st, func(c *Config) {
+		c.MinRecords = n
+		c.PollInterval = 20 * time.Millisecond
+		c.OnPromote = func(name string) { promoted <- name }
+	})
+	go w.Run()
+	defer w.Stop()
+	select {
+	case name := <-promoted:
+		if name != "retrained-v1" {
+			t.Fatalf("promoted %q, want retrained-v1", name)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("count trigger never promoted")
+	}
+	// No new records: the loop must not churn out endless candidates.
+	time.Sleep(5 * w.cfg.PollInterval)
+	infos, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 { // default + retrained-v1
+		t.Fatalf("store grew to %d artifacts without new observations", len(infos))
+	}
+}

@@ -1,0 +1,214 @@
+package server
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/stencil"
+	"repro/internal/tunespace"
+	"repro/internal/wal"
+)
+
+// obsSink ships observations to the durable WAL off the request path. The
+// request side only ever does a non-blocking channel send: when the buffer is
+// full the record is shed and counted (wal_dropped), never queued against the
+// client's latency. One background goroutine drains the buffer in batches —
+// every record of a batch is appended, then a single Sync makes the batch
+// durable and its cost is recorded (wal_fsync_seconds), so the fsync price is
+// amortized across whatever accumulated while the previous fsync ran.
+type obsSink struct {
+	log     *wal.Log
+	metrics *expvar.Map
+	ch      chan wal.Record
+	done    chan struct{}
+	once    sync.Once
+}
+
+func newObsSink(l *wal.Log, metrics *expvar.Map, depth int) *obsSink {
+	if depth <= 0 {
+		depth = 1024
+	}
+	o := &obsSink{
+		log:     l,
+		metrics: metrics,
+		ch:      make(chan wal.Record, depth),
+		done:    make(chan struct{}),
+	}
+	go o.run()
+	return o
+}
+
+// offer enqueues a record without ever blocking: a full buffer sheds.
+func (o *obsSink) offer(r wal.Record) bool {
+	select {
+	case o.ch <- r:
+		return true
+	default:
+		o.metrics.Add("wal_dropped", 1)
+		return false
+	}
+}
+
+func (o *obsSink) run() {
+	defer close(o.done)
+	for {
+		r, ok := <-o.ch
+		if !ok {
+			return
+		}
+		batch := []wal.Record{r}
+	drain:
+		for {
+			select {
+			case r2, ok := <-o.ch:
+				if !ok {
+					o.write(batch)
+					return
+				}
+				batch = append(batch, r2)
+			default:
+				break drain
+			}
+		}
+		o.write(batch)
+	}
+}
+
+func (o *obsSink) write(batch []wal.Record) {
+	appended := 0
+	for _, r := range batch {
+		if err := o.log.Append(r); err != nil {
+			o.metrics.Add("wal_dropped", 1)
+			continue
+		}
+		appended++
+	}
+	if appended == 0 {
+		return
+	}
+	start := time.Now()
+	if err := o.log.Sync(); err != nil {
+		o.metrics.Add("wal_sync_errors", 1)
+	}
+	o.metrics.AddFloat("wal_fsync_seconds", time.Since(start).Seconds())
+	o.metrics.Add("wal_appended", int64(appended))
+}
+
+// close flushes whatever is buffered and stops the writer goroutine. It does
+// not close the underlying WAL — the sink borrows it, the caller owns it.
+func (o *obsSink) close() {
+	o.once.Do(func() { close(o.ch) })
+	<-o.done
+}
+
+// record builds a WAL observation for an evaluated (instance, vector,
+// runtime) triple and offers it to the sink; structurally invalid or
+// non-finite measurements are rejected before they can pollute training.
+func (s *Server) record(q stencil.Instance, source, machine string, nowNano int64, v tunespace.Vector, runtimeSeconds float64) {
+	if s.sink == nil {
+		return
+	}
+	rec := wal.NewRecord(q, v, runtimeSeconds)
+	rec.Fingerprint = kernelFingerprint(q.Kernel)
+	rec.Machine = machine
+	rec.Source = source
+	rec.UnixNano = nowNano
+	if rec.Validate() != nil {
+		return
+	}
+	s.sink.offer(rec)
+}
+
+// ---------------------------------------------------------------------------
+// /v1/observe
+
+// observation is one client-reported execution of the request's instance.
+type observation struct {
+	Vector         vectorJSON `json:"vector"`
+	RuntimeSeconds float64    `json:"runtime_seconds"`
+}
+
+// observeRequest reports real measured runtimes from a client's own machine:
+// the instance it ran (kernel + size, same schema as every other endpoint)
+// and the (vector, runtime) pairs it observed. Observations feed the retrain
+// loop; they are validated strictly and never affect the current request's
+// answer.
+type observeRequest struct {
+	instanceRequest
+	Observations []observation `json:"observations"`
+	// Machine tags which host measured; defaults to the server's own id.
+	Machine string `json:"machine,omitempty"`
+}
+
+type observeResponse struct {
+	Accepted int `json:"accepted"`
+	Dropped  int `json:"dropped"`
+}
+
+// maxObservations bounds one report; bulk uploads should batch requests.
+const maxObservations = 1024
+
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Add("requests", 1)
+	if s.sink == nil {
+		s.fail(w, http.StatusServiceUnavailable,
+			fmt.Errorf("observation log not enabled on this server (start with -wal)"))
+		return
+	}
+	var req observeRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	q, err := req.instance()
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Observations) == 0 {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("missing observations"))
+		return
+	}
+	if len(req.Observations) > maxObservations {
+		s.fail(w, http.StatusBadRequest,
+			fmt.Errorf("%d observations exceed the per-request limit of %d", len(req.Observations), maxObservations))
+		return
+	}
+	machineID := req.Machine
+	if machineID == "" {
+		machineID = s.machine
+	}
+	now := time.Now().UnixNano()
+	fp := kernelFingerprint(q.Kernel)
+	// Validate everything before accepting anything, so a 400 never
+	// half-ingests a report.
+	records := make([]wal.Record, 0, len(req.Observations))
+	for i, o := range req.Observations {
+		rec := wal.NewRecord(q, o.Vector.toVector(q.Kernel.Dims()), o.RuntimeSeconds)
+		rec.Fingerprint = fp
+		rec.Machine = machineID
+		rec.Source = "observe"
+		rec.UnixNano = now
+		if err := rec.Validate(); err != nil {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("observation %d: %v", i, err))
+			return
+		}
+		records = append(records, rec)
+	}
+	resp := observeResponse{}
+	for _, rec := range records {
+		if s.sink.offer(rec) {
+			resp.Accepted++
+		} else {
+			resp.Dropped++
+		}
+	}
+	s.metrics.Add("observations", int64(resp.Accepted))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(resp)
+}

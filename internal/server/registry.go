@@ -3,6 +3,9 @@ package server
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/machine"
@@ -22,19 +25,55 @@ type loadedModel struct {
 	sim *perfmodel.Model
 }
 
-// Registry is the set of models a server instance answers for, loaded once
-// at startup from a store directory. All fields are read-only after
-// loadRegistry returns, so handlers never lock it.
-type Registry struct {
+// regState is one immutable generation of the registry: the loaded models, a
+// monotonically increasing version, and the store's promotion history at load
+// time. Handlers snapshot the whole generation once per request, so an
+// in-flight request keeps answering from the model set it started on even
+// while a retrain promotes a new one underneath it.
+type regState struct {
 	models      map[string]*loadedModel
 	names       []string
 	defaultName string
+	version     int64
+	history     []store.Promotion
+	loadedAt    time.Time
+	// skipped lists artifacts present in the store that failed to load on
+	// this generation (torn re-save, incompatible feature dim, ...); they are
+	// reported, not served.
+	skipped []string
 }
 
-// loadRegistry hash-verifies and loads every artifact in the store at dir.
-// The default model is the one named "default", or the only artifact, or —
-// with several and no "default" — the first in name order.
+// Registry is the set of models a server instance answers for. It is a
+// hot-swap structure: an atomic pointer to an immutable regState, replaced
+// wholesale by Reload (SIGHUP, retrain promotion) and never mutated in place.
+// Lock-free on the read path — handlers call snapshot once and never lock.
+type Registry struct {
+	dir string
+	cur atomic.Pointer[regState]
+	// reloadMu serializes writers (Reload, Rollback) so versions stay
+	// monotonic; readers never touch it.
+	reloadMu sync.Mutex
+}
+
+// loadRegistry builds a registry over the store at dir and loads generation 1.
 func loadRegistry(dir string) (*Registry, error) {
+	r := &Registry{dir: dir}
+	st, err := loadRegState(dir, 1)
+	if err != nil {
+		return nil, err
+	}
+	r.cur.Store(st)
+	return r, nil
+}
+
+// loadRegState hash-verifies and loads every artifact in the store at dir.
+// The default model is the store's current.json promotion pointer when it
+// names a loadable artifact; otherwise the artifact named "default", the only
+// artifact, or the first in name order. Artifacts that fail to load (a torn
+// concurrent re-save, a hand-edited file) are skipped so one bad directory
+// cannot take down a reload — but a store with no loadable artifact at all is
+// an error, and the corrupt model is never served.
+func loadRegState(dir string, version int64) (*regState, error) {
 	st, err := store.Open(dir)
 	if err != nil {
 		return nil, err
@@ -46,40 +85,124 @@ func loadRegistry(dir string) (*Registry, error) {
 	if len(infos) == 0 {
 		return nil, fmt.Errorf("server: no model artifacts in %s (train one with stencil-train -save %s)", dir, dir)
 	}
-	r := &Registry{models: make(map[string]*loadedModel, len(infos))}
+	rs := &regState{
+		models:   make(map[string]*loadedModel, len(infos)),
+		version:  version,
+		loadedAt: time.Now(),
+	}
+	var firstErr error
 	for _, in := range infos {
 		art, err := st.Load(in.Name)
 		if err != nil {
-			return nil, err
+			if firstErr == nil {
+				firstErr = err
+			}
+			rs.skipped = append(rs.skipped, in.Name)
+			continue
 		}
 		mach := art.Machine
 		if mach == nil {
 			mach = machine.XeonE52680v3()
 		}
-		r.models[in.Name] = &loadedModel{
+		rs.models[in.Name] = &loadedModel{
 			info:  in,
 			art:   art,
 			tuner: core.New(art.Model),
 			sim:   perfmodel.New(mach),
 		}
-		r.names = append(r.names, in.Name)
+		rs.names = append(rs.names, in.Name)
 	}
-	sort.Strings(r.names)
-	r.defaultName = r.names[0]
-	if _, ok := r.models["default"]; ok {
-		r.defaultName = "default"
+	if len(rs.names) == 0 {
+		return nil, fmt.Errorf("server: no loadable artifact in %s: %w", dir, firstErr)
 	}
-	return r, nil
+	sort.Strings(rs.names)
+	rs.defaultName = rs.names[0]
+	if _, ok := rs.models["default"]; ok {
+		rs.defaultName = "default"
+	}
+	// The store's promotion pointer overrides the naming conventions — but
+	// only when it names a model that actually loaded; a corrupt pointer or a
+	// pointer at a corrupt artifact falls back instead of failing the server.
+	cur, hist, err := st.Current()
+	if err == nil && cur != "" {
+		if _, ok := rs.models[cur]; ok {
+			rs.defaultName = cur
+		}
+	}
+	rs.history = hist
+	return rs, nil
 }
 
-// resolve returns the named model, or the default for an empty name.
-func (r *Registry) resolve(name string) (*loadedModel, error) {
-	if name == "" {
-		name = r.defaultName
+// snapshot returns the current immutable generation. Handlers call it exactly
+// once per request and use only the returned state, which pins their model
+// version for the request's whole lifetime.
+func (r *Registry) snapshot() *regState { return r.cur.Load() }
+
+// Version returns the currently served registry generation.
+func (r *Registry) Version() int64 { return r.snapshot().version }
+
+// Reload loads a fresh generation from the store directory and atomically
+// swaps it in. On any load error the running generation stays in place
+// untouched — a half-written store can delay a reload, never degrade serving.
+// In-flight requests complete on the generation they snapshotted.
+func (r *Registry) Reload() (int64, error) {
+	r.reloadMu.Lock()
+	defer r.reloadMu.Unlock()
+	next := r.cur.Load().version + 1
+	st, err := loadRegState(r.dir, next)
+	if err != nil {
+		return r.cur.Load().version, err
 	}
-	m, ok := r.models[name]
+	r.cur.Store(st)
+	return st.version, nil
+}
+
+// Rollback repoints the store's promotion pointer at the model the last
+// promotion displaced, records the rollback in the history, and reloads. It
+// is the operator's one-call undo for a bad promotion.
+func (r *Registry) Rollback() (string, int64, error) {
+	r.reloadMu.Lock()
+	prev := ""
+	_, hist, err := func() (string, []store.Promotion, error) {
+		st, err := store.Open(r.dir)
+		if err != nil {
+			return "", nil, err
+		}
+		return st.Current()
+	}()
+	if err == nil && len(hist) > 0 {
+		prev = hist[len(hist)-1].Prev
+	}
+	if prev == "" {
+		r.reloadMu.Unlock()
+		return "", r.Version(), fmt.Errorf("server: no previous model to roll back to")
+	}
+	st, err := store.Open(r.dir)
+	if err != nil {
+		r.reloadMu.Unlock()
+		return "", r.Version(), err
+	}
+	if err := st.SetCurrent(prev, store.Promotion{
+		Reason:   "rollback",
+		UnixNano: time.Now().UnixNano(),
+	}); err != nil {
+		r.reloadMu.Unlock()
+		return "", r.Version(), err
+	}
+	r.reloadMu.Unlock()
+	v, err := r.Reload()
+	return prev, v, err
+}
+
+// resolve returns the named model from this generation, or the generation's
+// default for an empty name.
+func (rs *regState) resolve(name string) (*loadedModel, error) {
+	if name == "" {
+		name = rs.defaultName
+	}
+	m, ok := rs.models[name]
 	if !ok {
-		return nil, fmt.Errorf("unknown model %q (loaded: %v)", name, r.names)
+		return nil, fmt.Errorf("unknown model %q (loaded: %v)", name, rs.names)
 	}
 	return m, nil
 }

@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"sort"
 	"strconv"
 	"sync"
@@ -46,7 +47,9 @@ import (
 	"repro/internal/exec"
 	"repro/internal/shape"
 	"repro/internal/stencil"
+	"repro/internal/store"
 	"repro/internal/tunespace"
+	"repro/internal/wal"
 )
 
 // Config sizes a server instance.
@@ -66,6 +69,19 @@ type Config struct {
 	// queued or running at once; arrivals beyond it are shed with 503
 	// (default 8). See admission.go.
 	MeasureQueueDepth int
+	// WAL, when non-nil, receives every measure-mode result and every
+	// /v1/observe report as a durable observation record, appended off the
+	// request path by a bounded background writer that sheds under pressure
+	// (see obsSink). The server borrows the log; the caller owns and closes
+	// it after Server.Close returns.
+	WAL *wal.Log
+	// Machine tags WAL observations with the host that measured them
+	// (default: os.Hostname).
+	Machine string
+	// ObserveBuffer bounds the in-memory observation queue between the
+	// request path and the WAL writer (default 1024); beyond it records are
+	// shed, never blocking a request.
+	ObserveBuffer int
 }
 
 // Server is the tuning service. Create with New, mount Handler, Close when
@@ -93,6 +109,11 @@ type Server struct {
 	// metrics is an unpublished expvar.Map so independent Server instances
 	// (tests run many per process) keep independent counters.
 	metrics *expvar.Map
+
+	// sink is the non-blocking WAL writer, nil when no WAL is configured.
+	sink *obsSink
+	// machine tags WAL observations produced by this server's own measurer.
+	machine string
 
 	// measureMu guards the lazily created measurer against Close: an http
 	// TimeoutHandler can detach a measure request's goroutine from
@@ -128,6 +149,13 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MeasureQueueDepth <= 0 {
 		cfg.MeasureQueueDepth = 8
 	}
+	if cfg.Machine == "" {
+		if host, err := os.Hostname(); err == nil {
+			cfg.Machine = host
+		} else {
+			cfg.Machine = "unknown"
+		}
+	}
 	s := &Server{
 		reg:          reg,
 		cache:        newLRU(cfg.CacheSize),
@@ -137,6 +165,10 @@ func New(cfg Config) (*Server, error) {
 		build:        buildinfo.Read(),
 		metrics:      new(expvar.Map).Init(),
 		measureSlots: make(chan struct{}, cfg.MeasureQueueDepth),
+		machine:      cfg.Machine,
+	}
+	if cfg.WAL != nil {
+		s.sink = newObsSink(cfg.WAL, s.metrics, cfg.ObserveBuffer)
 	}
 	return s, nil
 }
@@ -147,11 +179,15 @@ func New(cfg Config) (*Server, error) {
 // a timeout wrapper fails cleanly instead of resurrecting the pool.
 func (s *Server) Close() {
 	s.measureMu.Lock()
-	defer s.measureMu.Unlock()
 	s.closed = true
 	if s.measurer != nil {
 		s.measurer.Close()
 		s.measurer = nil
+	}
+	s.measureMu.Unlock()
+	// Flush buffered observations to the WAL before the caller closes it.
+	if s.sink != nil {
+		s.sink.close()
 	}
 }
 
@@ -171,8 +207,23 @@ func (s *Server) getMeasurer() *exec.Measurer {
 	return s.measurer
 }
 
-// Models returns the loaded model names (sorted) and the default name.
-func (s *Server) Models() ([]string, string) { return s.reg.names, s.reg.defaultName }
+// Models returns the loaded model names (sorted) and the default name of the
+// currently served registry generation.
+func (s *Server) Models() ([]string, string) {
+	rs := s.reg.snapshot()
+	return rs.names, rs.defaultName
+}
+
+// ReloadModels atomically swaps in a freshly loaded registry generation
+// (SIGHUP, retrain promotion). On error the running generation is untouched.
+func (s *Server) ReloadModels() (int64, error) { return s.reg.Reload() }
+
+// RollbackModel undoes the last promotion: it repoints the store at the
+// displaced model and hot-swaps the registry.
+func (s *Server) RollbackModel() (string, int64, error) { return s.reg.Rollback() }
+
+// RegistryVersion reports the currently served registry generation.
+func (s *Server) RegistryVersion() int64 { return s.reg.Version() }
 
 // MetricValue returns a counter's current value (0 when never touched).
 func (s *Server) MetricValue(name string) int64 {
@@ -192,6 +243,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/tune", s.post(s.handleTune))
 	mux.HandleFunc("/v1/rank", s.post(s.handleRank))
 	mux.HandleFunc("/v1/predict", s.post(s.handlePredict))
+	mux.HandleFunc("/v1/observe", s.post(s.handleObserve))
 	mux.HandleFunc("/v1/models", s.handleModels)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
@@ -587,7 +639,9 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	lm, err := s.reg.resolve(req.Model)
+	// Snapshot the registry generation once: this request answers from the
+	// model set it started on, even if a retrain promotes mid-request.
+	lm, err := s.reg.snapshot().resolve(req.Model)
 	if err != nil {
 		s.fail(w, http.StatusNotFound, err)
 		return
@@ -606,8 +660,10 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	key := fmt.Sprintf("tune|%s|%s|%s|%d|%s",
-		lm.info.Name, kernelFingerprint(q.Kernel), q.Size, req.TopK, mode)
+	// The model's content hash keys the cache, so a hot-swapped model never
+	// answers from its predecessor's cached responses.
+	key := fmt.Sprintf("tune|%s@%s|%s|%s|%d|%s",
+		lm.info.Name, lm.info.ContentHash, kernelFingerprint(q.Kernel), q.Size, req.TopK, mode)
 	s.serveCached(w, r, key, func(ctx context.Context) (any, error) {
 		cands := tunespace.NewSpace(q.Kernel.Dims()).Predefined()
 		start := time.Now()
@@ -642,6 +698,9 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 				Mode:      mode,
 				Best:      fromVector(hres.Best),
 				BestValue: hres.BestValue,
+			}
+			if mode == "measure" {
+				s.record(q, "measure", s.machine, time.Now().UnixNano(), hres.Best, hres.BestValue)
 			}
 		}
 		return resp, nil
@@ -687,7 +746,7 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	lm, err := s.reg.resolve(req.Model)
+	lm, err := s.reg.snapshot().resolve(req.Model)
 	if err != nil {
 		s.fail(w, http.StatusNotFound, err)
 		return
@@ -704,8 +763,8 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	if len(cands) == 0 {
 		cands = tunespace.NewSpace(q.Kernel.Dims()).Predefined()
 	}
-	key := fmt.Sprintf("rank|%s|%s|%s|%s|%t",
-		lm.info.Name, kernelFingerprint(q.Kernel), q.Size, vectorSetHash(cands), req.ReturnScores)
+	key := fmt.Sprintf("rank|%s@%s|%s|%s|%s|%t",
+		lm.info.Name, lm.info.ContentHash, kernelFingerprint(q.Kernel), q.Size, vectorSetHash(cands), req.ReturnScores)
 	s.serveCached(w, r, key, func(context.Context) (any, error) {
 		var order []int
 		var scores []float64
@@ -752,7 +811,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	lm, err := s.reg.resolve(req.Model)
+	lm, err := s.reg.snapshot().resolve(req.Model)
 	if err != nil {
 		s.fail(w, http.StatusNotFound, err)
 		return
@@ -779,8 +838,8 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	key := fmt.Sprintf("predict|%s|%s|%s|%s|%s",
-		lm.info.Name, kernelFingerprint(q.Kernel), q.Size, vectorSetHash(vs), mode)
+	key := fmt.Sprintf("predict|%s@%s|%s|%s|%s|%s",
+		lm.info.Name, lm.info.ContentHash, kernelFingerprint(q.Kernel), q.Size, vectorSetHash(vs), mode)
 	s.serveCached(w, r, key, func(ctx context.Context) (any, error) {
 		resp := &predictResponse{Model: lm.info.Name, Instance: q.ID(), Mode: mode, Unit: "seconds"}
 		if mode == "score" {
@@ -799,6 +858,15 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		resp.Values = eval.RuntimeBatch(q, vs)
 		if err := ctx.Err(); err != nil {
 			return nil, err
+		}
+		// Fresh wall-clock measurements are durable training signal: ship
+		// them to the WAL off the request path. Cached and coalesced answers
+		// never re-measure, so nothing is double-logged.
+		if mode == "measure" {
+			now := time.Now().UnixNano()
+			for i, v := range vs {
+				s.record(q, "measure", s.machine, now, v, resp.Values[i])
+			}
 		}
 		return resp, nil
 	})
@@ -821,14 +889,23 @@ type modelInfo struct {
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 	s.metrics.Add("requests", 1)
+	rs := s.reg.snapshot()
 	out := struct {
-		Default string      `json:"default"`
-		Models  []modelInfo `json:"models"`
-	}{Default: s.reg.defaultName}
-	names := append([]string(nil), s.reg.names...)
+		Default         string            `json:"default"`
+		RegistryVersion int64             `json:"registry_version"`
+		Models          []modelInfo       `json:"models"`
+		Skipped         []string          `json:"skipped,omitempty"`
+		Promotions      []store.Promotion `json:"promotions,omitempty"`
+	}{
+		Default:         rs.defaultName,
+		RegistryVersion: rs.version,
+		Skipped:         rs.skipped,
+		Promotions:      rs.history,
+	}
+	names := append([]string(nil), rs.names...)
 	sort.Strings(names)
 	for _, name := range names {
-		lm := s.reg.models[name]
+		lm := rs.models[name]
 		mi := modelInfo{
 			Name:               name,
 			ContentHash:        lm.info.ContentHash,
@@ -850,15 +927,17 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	rs := s.reg.snapshot()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]any{
-		"status":         "ok",
-		"version":        s.build.Version,
-		"commit":         s.build.Commit,
-		"go":             s.build.GoVersion,
-		"models":         len(s.reg.names),
-		"default_model":  s.reg.defaultName,
-		"uptime_seconds": int64(time.Since(s.start).Seconds()),
+		"status":           "ok",
+		"version":          s.build.Version,
+		"commit":           s.build.Commit,
+		"go":               s.build.GoVersion,
+		"models":           len(rs.names),
+		"default_model":    rs.defaultName,
+		"registry_version": rs.version,
+		"uptime_seconds":   int64(time.Since(s.start).Seconds()),
 	})
 }
 
@@ -869,7 +948,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	depth, capacity := s.MeasureQueueDepth(), s.MeasureQueueCapacity()
 	draining := s.draining.Load()
-	ready := !draining && len(s.reg.names) > 0 && depth < capacity
+	ready := !draining && len(s.reg.snapshot().names) > 0 && depth < capacity
 	code := http.StatusOK
 	if !ready {
 		code = http.StatusServiceUnavailable
@@ -879,7 +958,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(map[string]any{
 		"ready":                  ready,
 		"draining":               draining,
-		"models":                 len(s.reg.names),
+		"models":                 len(s.reg.snapshot().names),
 		"measure_queue_depth":    depth,
 		"measure_queue_capacity": capacity,
 	})

@@ -34,6 +34,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/feature"
 	"repro/internal/machine"
@@ -51,6 +52,18 @@ const (
 	metaFile     = "meta.json"
 	machineFile  = "machine.json"
 )
+
+// currentFile is the store-level promotion pointer: which artifact the
+// serving layer should treat as current, plus the promotion history that put
+// it there. It is written atomically, so a crash mid-promotion leaves either
+// the old pointer or the new one — never a torn document.
+const currentFile = "current.json"
+
+// tmpSweepAge is how old an orphaned .tmp-* file must be before Open removes
+// it. The grace window keeps a concurrent Save's in-flight tmp file safe; a
+// crash's leftovers are, by definition, older than any live write by the time
+// the process restarts and reopens the store.
+const tmpSweepAge = time.Hour
 
 // Meta is the trainer provenance persisted with a model: everything needed
 // to audit what a serving model was fitted on, and to refuse loading it into
@@ -117,6 +130,10 @@ type Store struct {
 }
 
 // Open returns a store rooted at dir, creating the directory when missing.
+// It also sweeps orphaned .tmp-* files — the debris a crash between
+// writeAtomic's tmp write and its rename leaves behind — from the store root
+// and every artifact directory, with an age grace so a Save racing in another
+// process is never robbed of its in-flight file.
 func Open(dir string) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("store: empty directory")
@@ -124,7 +141,41 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
+	sweepOrphans(dir)
 	return &Store{dir: dir}, nil
+}
+
+// sweepOrphans removes stale .tmp-* files under dir and its immediate
+// subdirectories. Sweeping is best-effort housekeeping: any error (a racing
+// unlink, a permission oddity) is ignored rather than failing Open.
+func sweepOrphans(root string) {
+	cutoff := time.Now().Add(-tmpSweepAge)
+	sweepDir := func(dir string) {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return
+		}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasPrefix(e.Name(), ".tmp-") {
+				continue
+			}
+			info, err := e.Info()
+			if err != nil || info.ModTime().After(cutoff) {
+				continue
+			}
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+	sweepDir(root)
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			sweepDir(filepath.Join(root, e.Name()))
+		}
+	}
 }
 
 // Dir returns the store's root directory.
@@ -148,6 +199,11 @@ func encode(v any) ([]byte, error) {
 	return append(b, '\n'), nil
 }
 
+// testHookBeforeRename, when non-nil, runs after the tmp file is fully
+// written and before the rename that publishes it. Crash-consistency tests
+// panic here to simulate a kill at the torn-write point.
+var testHookBeforeRename func(tmp, path string)
+
 // writeAtomic lands content at path via tmp+rename so readers never observe
 // a partially written file.
 func writeAtomic(path string, content []byte) error {
@@ -156,20 +212,32 @@ func writeAtomic(path string, content []byte) error {
 	if err != nil {
 		return err
 	}
-	defer os.Remove(tmp.Name()) // no-op after successful rename
+	// Cleanup is explicit per error path, not deferred: the crash hook
+	// simulates a kill by panicking, and a kill would not run defers — the
+	// orphaned tmp it leaves is exactly what Open's sweep exists for.
 	if _, err := tmp.Write(content); err != nil {
 		tmp.Close()
+		os.Remove(tmp.Name())
 		return err
 	}
 	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
 		return err
 	}
 	// CreateTemp opens 0600; artifacts are world-readable like any build
 	// output.
 	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		os.Remove(tmp.Name())
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if testHookBeforeRename != nil {
+		testHookBeforeRename(tmp.Name(), path)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
 }
 
 func hashOf(b []byte) string {
@@ -418,4 +486,97 @@ func LoadPath(path string) (*Artifact, error) {
 	}
 	return nil, fmt.Errorf("store: %s holds %d artifacts (%s) and none is named \"default\"; pass the artifact directory",
 		path, len(infos), strings.Join(names, ", "))
+}
+
+// Promotion is one entry of the store's promotion history: who became
+// current, who it displaced, and the canary evidence that justified the move.
+type Promotion struct {
+	// Name is the artifact that became current.
+	Name string `json:"name"`
+	// Prev is the artifact it displaced, if any.
+	Prev string `json:"prev,omitempty"`
+	// Tau is the candidate's held-out mean Kendall tau at promotion time.
+	Tau float64 `json:"tau,omitempty"`
+	// IncumbentTau is the displaced model's tau on the same held-out set.
+	IncumbentTau float64 `json:"incumbent_tau,omitempty"`
+	// Records is how many WAL observations the candidate was trained with.
+	Records int `json:"records,omitempty"`
+	// Reason is a short human-readable why: "canary-pass", "rollback",
+	// "manual", ...
+	Reason string `json:"reason,omitempty"`
+	// UnixNano is the promotion wall-clock timestamp, when known.
+	UnixNano int64 `json:"unix_nano,omitempty"`
+}
+
+// maxPromotionHistory bounds the history kept in current.json so a long-lived
+// retrain loop cannot grow the pointer document without limit.
+const maxPromotionHistory = 50
+
+// currentDoc is the current.json schema.
+type currentDoc struct {
+	FormatVersion int         `json:"format_version"`
+	Name          string      `json:"name"`
+	History       []Promotion `json:"history,omitempty"`
+}
+
+// SetCurrent atomically repoints the store's current artifact at name and
+// appends p to the promotion history. The named artifact must already be
+// fully saved: the pointer flip is the commit point of a promotion, so a
+// crash on either side of it leaves the store serving a complete model — the
+// old one before the flip, the new one after.
+func (s *Store) SetCurrent(name string, p Promotion) error {
+	if err := validName(name); err != nil {
+		return err
+	}
+	if _, err := os.Stat(filepath.Join(s.dir, name, manifestFile)); err != nil {
+		return fmt.Errorf("store: cannot point current at %q: %w", name, err)
+	}
+	// A corrupt existing pointer is not fatal to repointing: promotion
+	// starts a fresh history rather than refusing to repair the store.
+	cur, hist, _ := s.Current()
+	p.Name = name
+	if p.Prev == "" {
+		p.Prev = cur
+	}
+	hist = append(hist, p)
+	if len(hist) > maxPromotionHistory {
+		hist = hist[len(hist)-maxPromotionHistory:]
+	}
+	b, err := encode(currentDoc{FormatVersion: FormatVersion, Name: name, History: hist})
+	if err != nil {
+		return fmt.Errorf("store: encoding %s: %w", currentFile, err)
+	}
+	if err := writeAtomic(filepath.Join(s.dir, currentFile), b); err != nil {
+		return fmt.Errorf("store: writing %s: %w", currentFile, err)
+	}
+	return nil
+}
+
+// Current reads the promotion pointer: the current artifact's name and the
+// promotion history that led to it. A store that has never promoted returns
+// ("", nil, nil); a corrupt pointer returns an error so callers can fall back
+// to their default-selection rules instead of serving a guess.
+func (s *Store) Current() (string, []Promotion, error) {
+	b, err := os.ReadFile(filepath.Join(s.dir, currentFile))
+	if os.IsNotExist(err) {
+		return "", nil, nil
+	}
+	if err != nil {
+		return "", nil, fmt.Errorf("store: %w", err)
+	}
+	var doc currentDoc
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return "", nil, fmt.Errorf("store: decoding %s: %w", currentFile, err)
+	}
+	if doc.FormatVersion != FormatVersion {
+		return "", nil, fmt.Errorf("store: %s has format version %d, this build reads %d",
+			currentFile, doc.FormatVersion, FormatVersion)
+	}
+	if doc.Name == "" {
+		return "", nil, fmt.Errorf("store: %s names no artifact", currentFile)
+	}
+	if err := validName(doc.Name); err != nil {
+		return "", nil, err
+	}
+	return doc.Name, doc.History, nil
 }

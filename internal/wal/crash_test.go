@@ -1,0 +1,168 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// Crash injection with a real process kill: the test re-executes its own
+// binary as a writer child (TestCrashHelper), SIGKILLs it at a random point
+// while it appends — mid-append and, with tiny segments, mid-rotation — then
+// reopens the log and asserts the durability contract:
+//
+//   - every record the child synced before dying is recovered (the child
+//     persists its synced high-water mark to a progress file, atomically,
+//     only after Sync returns);
+//   - the recovered log is a gapless, in-order prefix of what was written —
+//     a kill may cost the unsynced tail, never punch holes;
+//   - recovery reports no corruption beyond the torn tail, and the log is
+//     immediately appendable for the next cycle.
+//
+// Each mode runs several kill-reopen-continue cycles over one directory, so
+// recovery-after-recovery and append-after-recovery are exercised too.
+
+const (
+	crashHelperEnv = "WAL_CRASH_HELPER"
+	crashDirEnv    = "WAL_CRASH_DIR"
+	crashSegEnv    = "WAL_CRASH_SEGBYTES"
+	progressFile   = "progress"
+)
+
+// TestCrashHelper is the writer child. It is a no-op unless spawned by
+// runCrashCycle with the helper environment set.
+func TestCrashHelper(t *testing.T) {
+	if os.Getenv(crashHelperEnv) != "1" {
+		t.Skip("crash helper: only runs as a spawned child")
+	}
+	dir := os.Getenv(crashDirEnv)
+	segBytes, _ := strconv.Atoi(os.Getenv(crashSegEnv))
+	l, _, err := Open(dir, Options{SegmentBytes: int64(segBytes)})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "helper open: %v\n", err)
+		os.Exit(2)
+	}
+	// Resume numbering after what recovery kept: the recovered log is a
+	// gapless prefix, so this keeps sequence numbers gapless across cycles.
+	start := int(l.Count())
+	for i := start; ; i++ {
+		if err := l.Append(testRecord(i)); err != nil {
+			fmt.Fprintf(os.Stderr, "helper append: %v\n", err)
+			os.Exit(2)
+		}
+		if (i-start)%5 == 4 {
+			if err := l.Sync(); err != nil {
+				fmt.Fprintf(os.Stderr, "helper sync: %v\n", err)
+				os.Exit(2)
+			}
+			writeProgress(dir, i+1)
+		}
+	}
+}
+
+// writeProgress durably records the synced high-water mark via
+// write+sync+rename, so the parent can never read a count that was not
+// actually synced.
+func writeProgress(dir string, n int) {
+	tmp := filepath.Join(dir, progressFile+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(f, "%d", n)
+	f.Sync()
+	f.Close()
+	os.Rename(tmp, filepath.Join(dir, progressFile))
+}
+
+func readProgress(dir string) int {
+	b, err := os.ReadFile(filepath.Join(dir, progressFile))
+	if err != nil {
+		return 0
+	}
+	n, _ := strconv.Atoi(string(b))
+	return n
+}
+
+// runCrashCycle spawns the writer child, lets it run for killAfter, SIGKILLs
+// it, and returns the synced high-water mark it had durably reported.
+func runCrashCycle(t *testing.T, dir string, segBytes int, killAfter time.Duration) int {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run", "^TestCrashHelper$")
+	cmd.Env = append(os.Environ(),
+		crashHelperEnv+"=1",
+		crashDirEnv+"="+dir,
+		crashSegEnv+"="+strconv.Itoa(segBytes),
+	)
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("spawning crash helper: %v", err)
+	}
+	time.Sleep(killAfter)
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatalf("killing crash helper: %v", err)
+	}
+	cmd.Wait() // reap; a killed child reports an error by design
+	return readProgress(dir)
+}
+
+func runCrashSuite(t *testing.T, segBytes int) {
+	dir := t.TempDir()
+	delays := []time.Duration{
+		15 * time.Millisecond, 40 * time.Millisecond, 25 * time.Millisecond,
+	}
+	for cycle, delay := range delays {
+		synced := runCrashCycle(t, dir, segBytes, delay)
+
+		l, rep, err := Open(dir, Options{SegmentBytes: int64(segBytes)})
+		if err != nil {
+			t.Fatalf("cycle %d: reopen after kill: %v", cycle, err)
+		}
+		recs, _, err := ReadAll(dir)
+		if err != nil {
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+		// No loss beyond the unsynced batch: everything synced survives.
+		if len(recs) < synced {
+			t.Fatalf("cycle %d: recovered %d records but %d were synced before the kill (report %+v)",
+				cycle, len(recs), synced, rep)
+		}
+		// A kill tears the tail; it must never flip bits or eat segments.
+		if rep.CorruptFrames != 0 || rep.SkippedSegments != 0 {
+			t.Fatalf("cycle %d: kill produced corruption beyond a torn tail: %+v", cycle, rep)
+		}
+		// Gapless in-order prefix.
+		assertPrefix(t, recs, synced)
+		if int64(len(recs)) != l.Count() {
+			t.Fatalf("cycle %d: Count %d != recovered %d", cycle, l.Count(), len(recs))
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if synced == 0 && cycle == len(delays)-1 {
+			t.Log("note: no cycle reached a sync before the kill; assertions were vacuous")
+		}
+	}
+}
+
+// TestCrashMidAppend kills the writer while it streams into one large
+// segment: the torn frame at the tail is the only permissible damage.
+func TestCrashMidAppend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process-kill crash suite skipped in -short")
+	}
+	runCrashSuite(t, 64<<20)
+}
+
+// TestCrashMidRotation kills the writer under constant segment rotation
+// (tiny segments), so kills land inside startSegment's tmp+rename dance as
+// well as mid-frame.
+func TestCrashMidRotation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process-kill crash suite skipped in -short")
+	}
+	runCrashSuite(t, 2048)
+}
