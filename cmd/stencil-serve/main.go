@@ -12,9 +12,11 @@
 //	curl -X POST -d '{"kernel":"laplacian","size":"128x128x128"}' localhost:8080/v1/tune
 //
 // Endpoints: POST /v1/tune, /v1/rank, /v1/predict, /v1/observe; GET
-// /v1/models, /healthz, /readyz, /metrics. See the README's "Serving tuned
-// models", "Operating under load" and "Online learning & model lifecycle"
-// sections for the schema, the overload semantics and the retrain loop.
+// /v1/models, /healthz, /readyz, /metrics (Prometheus text format; the
+// legacy flat-JSON counters live on at /debug/vars). See the README's
+// "Serving tuned models", "Operating under load", "Online learning & model
+// lifecycle" and "Observability" sections for the schema, the overload
+// semantics, the retrain loop and the metric catalog.
 //
 // With -wal the daemon keeps a durable observation log and serves
 // /v1/observe; adding -retrain-every or -retrain-min starts a background
@@ -40,6 +42,7 @@ import (
 
 	"repro/internal/buildinfo"
 	"repro/internal/middleware"
+	"repro/internal/obs"
 	"repro/internal/retrain"
 	"repro/internal/server"
 	"repro/internal/store"
@@ -66,8 +69,9 @@ type options struct {
 	retrainPoints int
 	canaryHoldout float64
 	pprofAddr     string
+	logFormat     string
 
-	logger      *log.Logger
+	logger      *obs.Logger
 	ready       chan<- net.Addr
 	pprofReady  chan<- net.Addr
 	signals     <-chan os.Signal
@@ -96,12 +100,16 @@ func main() {
 	flag.IntVar(&opts.retrainPoints, "retrain-points", 0, "synthetic base-set size mixed into each retrain (0 = default 384)")
 	flag.Float64Var(&opts.canaryHoldout, "canary-holdout", 0.2, "fraction of the synthetic base held out for the promotion canary gate")
 	flag.StringVar(&opts.pprofAddr, "pprof-addr", "", "separate listen address for /debug/pprof (empty = disabled; never served on -addr)")
+	flag.StringVar(&opts.logFormat, "log-format", "text", "log output format: text or json (structured; one object per line)")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
 	if *version {
 		fmt.Println(buildinfo.Read())
 		return
+	}
+	if opts.logFormat != "text" && opts.logFormat != "json" {
+		log.Fatalf("-log-format %q: want text or json", opts.logFormat)
 	}
 	if err := run(opts); err != nil {
 		log.Fatal(err)
@@ -114,8 +122,14 @@ func main() {
 func run(opts options) error {
 	logger := opts.logger
 	if logger == nil {
-		logger = log.Default()
+		logger = obs.NewLogger(os.Stderr, opts.logFormat)
 	}
+
+	// One registry backs everything: the server's counters and histograms,
+	// the middleware chain's guards, the retrain worker and the Go runtime
+	// gauges all scrape out through the server's /metrics.
+	reg := obs.NewRegistry()
+	obs.RegisterRuntimeMetrics(reg)
 
 	// The WAL opens before the server so startup fails loudly on an
 	// unrecoverable log, and closes after it (deferred) so the server's
@@ -143,6 +157,8 @@ func run(opts options) error {
 		MaxBodyBytes:      opts.maxBody,
 		MeasureQueueDepth: opts.measureQueue,
 		WAL:               walLog,
+		Registry:          reg,
+		AccessLog:         logger.With(obs.F("component", "http")),
 	})
 	if err != nil {
 		return err
@@ -165,7 +181,8 @@ func run(opts options) error {
 			PollInterval:    opts.retrainPoll,
 			HoldoutFraction: opts.canaryHoldout,
 			BasePoints:      opts.retrainPoints,
-			Logger:          logger,
+			Logger:          logger.With(obs.F("component", "retrain")),
+			Registry:        reg,
 			OnPromote: func(name string) {
 				if v, err := s.ReloadModels(); err != nil {
 					logger.Printf("retrain: promoted %s but registry reload failed: %v", name, err)
@@ -214,12 +231,12 @@ func run(opts options) error {
 	// Outermost to innermost: correlation IDs on everything (panic logs
 	// included), panic isolation above all request logic, rate limiting
 	// before any body handling, then the size cap.
-	limiter := middleware.NewRateLimiter(opts.rateLimit, opts.rateBurst, s.Metrics())
+	limiter := middleware.NewRateLimiter(opts.rateLimit, opts.rateBurst, reg)
 	handler = middleware.Chain(handler,
 		middleware.RequestID(),
-		middleware.Recover(logger, s.Metrics()),
+		middleware.Recover(logger, reg),
 		limiter.Middleware(),
-		middleware.MaxBytes(opts.maxBody, s.Metrics()),
+		middleware.MaxBytes(opts.maxBody, reg),
 	)
 
 	ln, err := net.Listen("tcp", opts.addr)

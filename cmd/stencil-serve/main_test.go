@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
 	"net"
 	"net/http"
 	"os"
@@ -13,6 +12,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 const fixtureModelDir = "../../internal/store/testdata"
@@ -26,7 +27,7 @@ func startRun(t *testing.T, opts options) (net.Addr, chan<- os.Signal, *atomic.I
 	var closed atomic.Int64
 	opts.ready = ready
 	opts.signals = signals
-	opts.logger = log.New(io.Discard, "", 0)
+	opts.logger = obs.NewLogger(io.Discard, "text")
 	opts.onClosed = func() { closed.Add(1) }
 	done := make(chan error, 1)
 	go func() { done <- run(opts) }()
@@ -167,7 +168,7 @@ func TestShutdownIdleFast(t *testing.T) {
 func TestRunRejectsMissingModelDir(t *testing.T) {
 	opts := serveOpts()
 	opts.models = "no-such-dir"
-	opts.logger = log.New(io.Discard, "", 0)
+	opts.logger = obs.NewLogger(io.Discard, "text")
 	if err := run(opts); err == nil {
 		t.Fatal("run with a missing model dir returned nil")
 	}

@@ -30,6 +30,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Config shapes a Client; the zero value plus BaseURL is production-ready.
@@ -154,6 +156,10 @@ type TuneResponse struct {
 	Hybrid           *HybridResult `json:"hybrid,omitempty"`
 	// Cache reports the server's X-Cache verdict: hit, miss or coalesced.
 	Cache string `json:"-"`
+	// RequestID is the X-Request-ID correlation ID the client generated for
+	// this logical call and sent on every retry attempt; grep server logs for
+	// it to find the matching request lines.
+	RequestID string `json:"-"`
 }
 
 type RankRequest struct {
@@ -172,6 +178,7 @@ type RankResponse struct {
 	Best       Vector    `json:"best"`
 	Scores     []float64 `json:"scores,omitempty"`
 	Cache      string    `json:"-"`
+	RequestID  string    `json:"-"`
 }
 
 type PredictRequest struct {
@@ -183,12 +190,13 @@ type PredictRequest struct {
 }
 
 type PredictResponse struct {
-	Model    string    `json:"model"`
-	Instance string    `json:"instance"`
-	Mode     string    `json:"mode"`
-	Unit     string    `json:"unit"`
-	Values   []float64 `json:"values"`
-	Cache    string    `json:"-"`
+	Model     string    `json:"model"`
+	Instance  string    `json:"instance"`
+	Mode      string    `json:"mode"`
+	Unit      string    `json:"unit"`
+	Values    []float64 `json:"values"`
+	Cache     string    `json:"-"`
+	RequestID string    `json:"-"`
 }
 
 type ModelInfo struct {
@@ -199,8 +207,9 @@ type ModelInfo struct {
 }
 
 type ModelsResponse struct {
-	Default string      `json:"default"`
-	Models  []ModelInfo `json:"models"`
+	Default   string      `json:"default"`
+	Models    []ModelInfo `json:"models"`
+	RequestID string      `json:"-"`
 }
 
 // APIError is a definitive (non-retried or retries-exhausted) server error.
@@ -226,69 +235,74 @@ func (e *APIError) Retryable() bool {
 // Tune asks the server for the best tuning vector for a stencil instance.
 func (c *Client) Tune(ctx context.Context, req TuneRequest) (*TuneResponse, error) {
 	var out TuneResponse
-	cache, err := c.call(ctx, "/v1/tune", req, &out)
-	out.Cache = cache
+	cache, id, err := c.call(ctx, "/v1/tune", req, &out)
+	out.Cache, out.RequestID = cache, id
 	return &out, err
 }
 
 // Rank orders a candidate set (or the predefined one) best-first.
 func (c *Client) Rank(ctx context.Context, req RankRequest) (*RankResponse, error) {
 	var out RankResponse
-	cache, err := c.call(ctx, "/v1/rank", req, &out)
-	out.Cache = cache
+	cache, id, err := c.call(ctx, "/v1/rank", req, &out)
+	out.Cache, out.RequestID = cache, id
 	return &out, err
 }
 
 // Predict returns per-vector runtimes or scores.
 func (c *Client) Predict(ctx context.Context, req PredictRequest) (*PredictResponse, error) {
 	var out PredictResponse
-	cache, err := c.call(ctx, "/v1/predict", req, &out)
-	out.Cache = cache
+	cache, id, err := c.call(ctx, "/v1/predict", req, &out)
+	out.Cache, out.RequestID = cache, id
 	return &out, err
 }
 
 // Models lists the models the server loaded.
 func (c *Client) Models(ctx context.Context) (*ModelsResponse, error) {
 	var out ModelsResponse
-	_, err := c.call(ctx, "/v1/models", nil, &out)
+	_, id, err := c.call(ctx, "/v1/models", nil, &out)
+	out.RequestID = id
 	return &out, err
 }
 
 // call runs one API call through the retry loop. body == nil issues a GET.
-func (c *Client) call(ctx context.Context, path string, body any, out any) (cache string, err error) {
+// One X-Request-ID is generated per logical call and reused on every retry
+// attempt, so all attempts of the same call correlate to the same server log
+// lines; the ID is returned so callers can surface it next to errors.
+func (c *Client) call(ctx context.Context, path string, body any, out any) (cache, requestID string, err error) {
 	var payload []byte
 	if body != nil {
 		if payload, err = json.Marshal(body); err != nil {
-			return "", fmt.Errorf("client: encoding request: %v", err)
+			return "", "", fmt.Errorf("client: encoding request: %v", err)
 		}
 	}
+	requestID = obs.NewRequestID()
 
 	var lastErr error
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			c.retries.Add(1)
 			if err := c.sleep(ctx, c.backoff(attempt, lastErr)); err != nil {
-				return "", err
+				return "", requestID, err
 			}
 		}
-		cache, retry, err := c.attempt(ctx, path, payload, out)
+		cache, retry, err := c.attempt(ctx, path, requestID, payload, out)
 		if err == nil {
-			return cache, nil
+			return cache, requestID, nil
 		}
 		if ctx.Err() != nil {
-			return "", ctx.Err()
+			return "", requestID, ctx.Err()
 		}
 		if !retry {
-			return "", err
+			return "", requestID, err
 		}
 		lastErr = err
 	}
-	return "", fmt.Errorf("client: giving up after %d attempts: %w", c.cfg.MaxAttempts, lastErr)
+	return "", requestID, fmt.Errorf("client: giving up after %d attempts: %w", c.cfg.MaxAttempts, lastErr)
 }
 
 // attempt issues a single HTTP exchange under its own timeout and reports
 // whether a failure is retryable.
-func (c *Client) attempt(ctx context.Context, path string, payload []byte, out any) (cache string, retry bool, err error) {
+func (c *Client) attempt(ctx context.Context, path, requestID string, payload []byte, out any) (cache string, retry bool, err error) {
 	c.attempts.Add(1)
 	actx, cancel := context.WithTimeout(ctx, c.cfg.PerAttemptTimeout)
 	defer cancel()
@@ -304,6 +318,7 @@ func (c *Client) attempt(ctx context.Context, path string, payload []byte, out a
 		return "", false, fmt.Errorf("client: building request: %v", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-ID", requestID)
 	if c.cfg.ClientID != "" {
 		req.Header.Set("X-Client-ID", c.cfg.ClientID)
 	}

@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"repro/internal/middleware"
 	"repro/internal/server"
 )
 
@@ -246,6 +248,84 @@ func TestAgainstRealServer(t *testing.T) {
 	}
 	if got := c.Attempts() - before; got != 1 {
 		t.Errorf("bad request cost %d attempts, want 1", got)
+	}
+}
+
+// TestRequestIDStableAcrossRetries pins the correlation contract: one
+// X-Request-ID per logical call, identical on every retry attempt, distinct
+// across logical calls, and surfaced on the response struct.
+func TestRequestIDStableAcrossRetries(t *testing.T) {
+	var mu sync.Mutex
+	var seen []string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		seen = append(seen, r.Header.Get("X-Request-ID"))
+		n := len(seen)
+		mu.Unlock()
+		if n < 3 {
+			http.Error(w, `{"error":"queue full"}`, http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"model":"m","instance":"i","best":{"bx":1,"by":1,"u":0,"c":1}}`))
+	}))
+	defer ts.Close()
+
+	c := mustClient(t, fastCfg(ts.URL))
+	resp, err := c.Tune(context.Background(), TuneRequest{Kernel: NamedKernel("blur"), Size: "64x64"})
+	if err != nil {
+		t.Fatalf("Tune through sheds: %v", err)
+	}
+	mu.Lock()
+	attempts := append([]string(nil), seen...)
+	mu.Unlock()
+	if len(attempts) != 3 {
+		t.Fatalf("server saw %d attempts, want 3", len(attempts))
+	}
+	if attempts[0] == "" || len(attempts[0]) != 16 {
+		t.Errorf("attempt X-Request-ID = %q, want 16 hex digits", attempts[0])
+	}
+	if attempts[1] != attempts[0] || attempts[2] != attempts[0] {
+		t.Errorf("retries changed the request ID: %v", attempts)
+	}
+	if resp.RequestID != attempts[0] {
+		t.Errorf("response RequestID = %q, want the wire ID %q", resp.RequestID, attempts[0])
+	}
+
+	again, err := c.Tune(context.Background(), TuneRequest{Kernel: NamedKernel("blur"), Size: "64x64"})
+	if err != nil {
+		t.Fatalf("second Tune: %v", err)
+	}
+	if again.RequestID == resp.RequestID {
+		t.Errorf("two logical calls shared request ID %q", again.RequestID)
+	}
+}
+
+// TestServerEchoesRequestID runs the client against the real middleware
+// chain and checks the generated ID comes back on the response header — the
+// round trip the README documents.
+func TestServerEchoesRequestID(t *testing.T) {
+	s, err := server.New(server.Config{ModelDir: "../store/testdata"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var echoed atomic.Value
+	inspect := func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			next.ServeHTTP(w, r)
+			echoed.Store(w.Header().Get(middleware.RequestIDHeader))
+		})
+	}
+	ts := httptest.NewServer(middleware.Chain(s.Handler(), inspect, middleware.RequestID()))
+	defer ts.Close()
+
+	c := mustClient(t, fastCfg(ts.URL))
+	resp, err := c.Models(context.Background())
+	if err != nil {
+		t.Fatalf("Models: %v", err)
+	}
+	if got, _ := echoed.Load().(string); got != resp.RequestID || got == "" {
+		t.Errorf("server echoed %q, client generated %q", got, resp.RequestID)
 	}
 }
 

@@ -2,10 +2,8 @@ package faultinject_test
 
 import (
 	"context"
-	"expvar"
 	"fmt"
 	"io"
-	"log"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -15,6 +13,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/faultinject"
 	"repro/internal/middleware"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -42,8 +41,8 @@ func newStack(t *testing.T, extraRoutes func(*http.ServeMux)) (*server.Server, h
 	h := middleware.Chain(
 		middleware.JSONContentType()(http.TimeoutHandler(mux, 10*time.Second, `{"error":"request timed out"}`)),
 		middleware.RequestID(),
-		middleware.Recover(log.New(io.Discard, "", 0), s.Metrics()),
-		middleware.MaxBytes(1<<20, s.Metrics()),
+		middleware.Recover(obs.NewLogger(io.Discard, "text"), s.ObsRegistry()),
+		middleware.MaxBytes(1<<20, s.ObsRegistry()),
 	)
 	return s, h
 }
@@ -134,7 +133,7 @@ func TestPanicLeavesServerServing(t *testing.T) {
 			t.Errorf("panic response Content-Type = %q, want application/json", ct)
 		}
 	}
-	if got := metricValue(s.Metrics(), "panics_total"); got != 3 {
+	if got := s.MetricValue("panics_total"); got != 3 {
 		t.Errorf("panics_total = %d, want 3", got)
 	}
 
@@ -160,10 +159,10 @@ func TestRateLimitShedsAndRecoversOverHTTP(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(s.Close)
-	limiter := middleware.NewRateLimiter(10, 3, s.Metrics())
+	limiter := middleware.NewRateLimiter(10, 3, s.ObsRegistry())
 	stack := middleware.Chain(s.Handler(),
 		middleware.RequestID(),
-		middleware.Recover(log.New(io.Discard, "", 0), s.Metrics()),
+		middleware.Recover(obs.NewLogger(io.Discard, "text"), s.ObsRegistry()),
 		limiter.Middleware(),
 	)
 	ts := httptest.NewServer(stack)
@@ -199,16 +198,9 @@ func TestRateLimitShedsAndRecoversOverHTTP(t *testing.T) {
 	if resp := tune(); resp.StatusCode != http.StatusOK {
 		t.Errorf("request after honoring Retry-After: status %d, want 200", resp.StatusCode)
 	}
-	if got := metricValue(s.Metrics(), "rate_limited_total"); got == 0 {
+	if got := s.MetricValue("rate_limited_total"); got == 0 {
 		t.Error("rate_limited_total never incremented")
 	}
 }
 
 func jsonBody(s string) io.Reader { return strings.NewReader(s) }
-
-func metricValue(m *expvar.Map, name string) int64 {
-	if v, ok := m.Get(name).(*expvar.Int); ok {
-		return v.Value()
-	}
-	return 0
-}

@@ -18,20 +18,20 @@
 // content-type defaulter innermost around http.TimeoutHandler, whose
 // timeout body is written without a Content-Type.
 //
-// Counters land in an expvar.Map shared with the server's /metrics surface
-// (panics_total, rate_limited_total, body_too_large_total), so overload and
-// fault behavior is observable where operators already look.
+// Counters land in an obs.Registry shared with the server's /metrics
+// surface (stencilserve_panics_total, stencilserve_rate_limited_total,
+// stencilserve_body_too_large_total), so overload and fault behavior is
+// observable where operators already look. Every constructor accepts a nil
+// registry and/or logger; instrumentation simply switches off.
 package middleware
 
 import (
 	"context"
-	"crypto/rand"
-	"encoding/hex"
-	"expvar"
 	"fmt"
-	"log"
 	"net/http"
 	"runtime/debug"
+
+	"repro/internal/obs"
 )
 
 // Chain wraps h with the given middleware, outermost first: the first
@@ -41,14 +41,6 @@ func Chain(h http.Handler, mws ...func(http.Handler) http.Handler) http.Handler 
 		h = mws[i](h)
 	}
 	return h
-}
-
-// counters is the subset of expvar.Map the middleware records into; a nil
-// map disables counting (every constructor accepts nil).
-func add(m *expvar.Map, name string, delta int64) {
-	if m != nil {
-		m.Add(name, delta)
-	}
 }
 
 // writeJSONError emits the middleware's uniform error shape — the same
@@ -63,16 +55,14 @@ func writeJSONError(w http.ResponseWriter, code int, msg string) {
 // ---------------------------------------------------------------------------
 // Request IDs
 
-// requestIDKey is the context key carrying the request's correlation ID.
-type requestIDKey struct{}
-
 // RequestIDHeader is the wire header for request correlation IDs.
 const RequestIDHeader = "X-Request-ID"
 
 // RequestIDFrom returns the correlation ID injected by RequestID, or "".
+// The ID lives in the context under obs's key, so the server, the logger
+// and the client library all read the same value.
 func RequestIDFrom(ctx context.Context) string {
-	id, _ := ctx.Value(requestIDKey{}).(string)
-	return id
+	return obs.RequestIDFrom(ctx)
 }
 
 // RequestID propagates the client's X-Request-ID (or generates a fresh
@@ -83,36 +73,30 @@ func RequestID() func(http.Handler) http.Handler {
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			id := r.Header.Get(RequestIDHeader)
 			if id == "" || len(id) > 128 {
-				id = newRequestID()
+				id = obs.NewRequestID()
 			}
 			w.Header().Set(RequestIDHeader, id)
-			r = r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id))
+			r = r.WithContext(obs.WithRequestID(r.Context(), id))
 			r.Header.Set(RequestIDHeader, id)
 			next.ServeHTTP(w, r)
 		})
 	}
 }
 
-func newRequestID() string {
-	var b [8]byte
-	if _, err := rand.Read(b[:]); err != nil {
-		// crypto/rand failing is a broken platform; a constant ID still
-		// yields a working (if uncorrelatable) server.
-		return "0000000000000000"
-	}
-	return hex.EncodeToString(b[:])
-}
-
 // ---------------------------------------------------------------------------
 // Panic recovery
 
 // Recover converts a handler panic into a 500 JSON error plus a logged
-// stack trace and a panics_total increment — the request dies, the server
-// does not. http.ErrAbortHandler passes through untouched: it is net/http's
-// sanctioned way to abort a response, not a defect.
-func Recover(logger *log.Logger, metrics *expvar.Map) func(http.Handler) http.Handler {
-	if logger == nil {
-		logger = log.Default()
+// stack trace and a stencilserve_panics_total increment — the request dies,
+// the server does not. The log line carries the request ID, method and route
+// so a panic is attributable to the request that caused it.
+// http.ErrAbortHandler passes through untouched: it is net/http's sanctioned
+// way to abort a response, not a defect.
+func Recover(logger *obs.Logger, reg *obs.Registry) func(http.Handler) http.Handler {
+	var panics *obs.Counter
+	if reg != nil {
+		panics = reg.Counter("stencilserve_panics_total",
+			"Handler panics recovered by the middleware chain.")
 	}
 	return func(next http.Handler) http.Handler {
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -124,9 +108,13 @@ func Recover(logger *log.Logger, metrics *expvar.Map) func(http.Handler) http.Ha
 				if rec == http.ErrAbortHandler {
 					panic(rec)
 				}
-				add(metrics, "panics_total", 1)
-				logger.Printf("panic serving %s %s (request %s): %v\n%s",
-					r.Method, r.URL.Path, RequestIDFrom(r.Context()), rec, debug.Stack())
+				panics.Inc()
+				logger.Error("panic recovered",
+					obs.F("request_id", RequestIDFrom(r.Context())),
+					obs.F("method", r.Method),
+					obs.F("path", r.URL.Path),
+					obs.F("panic", fmt.Sprint(rec)),
+					obs.F("stack", string(debug.Stack())))
 				// Best effort: if the handler already wrote a status line
 				// this write fails silently, which is all that can be done.
 				writeJSONError(w, http.StatusInternalServerError, "internal server error")
@@ -144,14 +132,19 @@ func Recover(logger *log.Logger, metrics *expvar.Map) func(http.Handler) http.Ha
 // chunked or lying clients are cut off at the same bound (the handler's
 // read error then carries *http.MaxBytesError, which the server maps to
 // 413 as well). limit <= 0 disables the cap.
-func MaxBytes(limit int64, metrics *expvar.Map) func(http.Handler) http.Handler {
+func MaxBytes(limit int64, reg *obs.Registry) func(http.Handler) http.Handler {
+	var tooLarge *obs.Counter
+	if reg != nil && limit > 0 {
+		tooLarge = reg.Counter("stencilserve_body_too_large_total",
+			"Requests rejected for exceeding the body size cap.")
+	}
 	return func(next http.Handler) http.Handler {
 		if limit <= 0 {
 			return next
 		}
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			if r.ContentLength > limit {
-				add(metrics, "body_too_large_total", 1)
+				tooLarge.Inc()
 				writeJSONError(w, http.StatusRequestEntityTooLarge,
 					fmt.Sprintf("request body %d bytes exceeds limit %d", r.ContentLength, limit))
 				return

@@ -1,16 +1,17 @@
 package middleware
 
 import (
+	"bytes"
 	"encoding/json"
-	"expvar"
 	"io"
-	"log"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 func okHandler() http.Handler {
@@ -81,17 +82,20 @@ func TestRequestIDGeneratedAndPropagated(t *testing.T) {
 }
 
 func TestRecoverIsolatesPanic(t *testing.T) {
-	metrics := new(expvar.Map).Init()
-	logger := log.New(io.Discard, "", 0)
+	reg := obs.NewRegistry()
+	var logBuf bytes.Buffer
+	logger := obs.NewLogger(&logBuf, "json")
 	mux := http.NewServeMux()
 	mux.Handle("/boom", http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
 		panic("kaboom")
 	}))
 	mux.Handle("/ok", okHandler())
-	h := Chain(mux, RequestID(), Recover(logger, metrics))
+	h := Chain(mux, RequestID(), Recover(logger, reg))
 
 	w := httptest.NewRecorder()
-	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/boom", nil))
+	req := httptest.NewRequest(http.MethodGet, "/boom", nil)
+	req.Header.Set(RequestIDHeader, "trace-me-42")
+	h.ServeHTTP(w, req)
 	if w.Code != http.StatusInternalServerError {
 		t.Fatalf("panicking handler: status %d, want 500", w.Code)
 	}
@@ -99,8 +103,20 @@ func TestRecoverIsolatesPanic(t *testing.T) {
 	if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil || body["error"] == "" {
 		t.Fatalf("panic response is not a JSON error: %q", w.Body.String())
 	}
-	if got := metrics.Get("panics_total").(*expvar.Int).Value(); got != 1 {
-		t.Errorf("panics_total = %d, want 1", got)
+	if got := reg.Value("stencilserve_panics_total"); got != 1 {
+		t.Errorf("stencilserve_panics_total = %v, want 1", got)
+	}
+
+	// The panic log line must identify the request that caused it.
+	var line map[string]any
+	if err := json.Unmarshal(logBuf.Bytes(), &line); err != nil {
+		t.Fatalf("panic log is not structured JSON: %v\n%s", err, logBuf.String())
+	}
+	if line["request_id"] != "trace-me-42" || line["path"] != "/boom" || line["method"] != http.MethodGet {
+		t.Errorf("panic log missing correlation fields: %v", line)
+	}
+	if s, _ := line["panic"].(string); s != "kaboom" {
+		t.Errorf("panic log payload = %v, want kaboom", line["panic"])
 	}
 
 	// The chain (standing in for the server process) still serves.
@@ -114,7 +130,7 @@ func TestRecoverIsolatesPanic(t *testing.T) {
 func TestRecoverPassesAbortHandler(t *testing.T) {
 	h := Chain(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
 		panic(http.ErrAbortHandler)
-	}), Recover(log.New(io.Discard, "", 0), nil))
+	}), Recover(obs.NewLogger(io.Discard, "text"), nil))
 	defer func() {
 		if recover() != http.ErrAbortHandler {
 			t.Error("http.ErrAbortHandler was swallowed; it must propagate to net/http")
@@ -125,8 +141,8 @@ func TestRecoverPassesAbortHandler(t *testing.T) {
 }
 
 func TestMaxBytes(t *testing.T) {
-	metrics := new(expvar.Map).Init()
-	h := Chain(okHandler(), MaxBytes(64, metrics))
+	reg := obs.NewRegistry()
+	h := Chain(okHandler(), MaxBytes(64, reg))
 
 	// Under the cap: fine.
 	w := httptest.NewRecorder()
@@ -142,8 +158,8 @@ func TestMaxBytes(t *testing.T) {
 	if w.Code != http.StatusRequestEntityTooLarge {
 		t.Fatalf("oversized body: status %d, want 413", w.Code)
 	}
-	if got := metrics.Get("body_too_large_total").(*expvar.Int).Value(); got != 1 {
-		t.Errorf("body_too_large_total = %d, want 1", got)
+	if got := reg.Value("stencilserve_body_too_large_total"); got != 1 {
+		t.Errorf("stencilserve_body_too_large_total = %v, want 1", got)
 	}
 
 	// Lying client (no Content-Length): MaxBytesReader truncates the read.
@@ -157,8 +173,8 @@ func TestMaxBytes(t *testing.T) {
 }
 
 func TestRateLimiterBucketsAndRetryAfter(t *testing.T) {
-	metrics := new(expvar.Map).Init()
-	l := NewRateLimiter(1, 2, metrics) // 1 req/s, burst 2
+	reg := obs.NewRegistry()
+	l := NewRateLimiter(1, 2, reg) // 1 req/s, burst 2
 	clock := time.Unix(1000, 0)
 	l.now = func() time.Time { return clock }
 	h := Chain(okHandler(), l.Middleware())
@@ -198,8 +214,8 @@ func TestRateLimiterBucketsAndRetryAfter(t *testing.T) {
 	if w := do("a"); w.Code != http.StatusOK {
 		t.Errorf("request after Retry-After: status %d, want 200", w.Code)
 	}
-	if got := metrics.Get("rate_limited_total").(*expvar.Int).Value(); got != 1 {
-		t.Errorf("rate_limited_total = %d, want 1", got)
+	if got := reg.Value("stencilserve_rate_limited_total"); got != 1 {
+		t.Errorf("stencilserve_rate_limited_total = %v, want 1", got)
 	}
 }
 

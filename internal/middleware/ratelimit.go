@@ -1,13 +1,14 @@
 package middleware
 
 import (
-	"expvar"
 	"math"
 	"net"
 	"net/http"
 	"strconv"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // ClientIDHeader lets well-behaved clients identify themselves for rate
@@ -33,7 +34,7 @@ type RateLimiter struct {
 	buckets   map[string]*bucket
 	lastPrune time.Time
 
-	metrics *expvar.Map
+	limited *obs.Counter
 }
 
 type bucket struct {
@@ -45,14 +46,18 @@ type bucket struct {
 // of burst. rate <= 0 disables limiting (Middleware returns the handler
 // unchanged); burst < 1 is raised to 1 so a conforming client can always
 // make progress.
-func NewRateLimiter(rate float64, burst int, metrics *expvar.Map) *RateLimiter {
-	return &RateLimiter{
+func NewRateLimiter(rate float64, burst int, reg *obs.Registry) *RateLimiter {
+	l := &RateLimiter{
 		rate:    rate,
 		burst:   math.Max(float64(burst), 1),
 		now:     time.Now,
 		buckets: make(map[string]*bucket),
-		metrics: metrics,
 	}
+	if reg != nil {
+		l.limited = reg.Counter("stencilserve_rate_limited_total",
+			"Requests answered 429 by the per-client rate limiter.")
+	}
+	return l
 }
 
 // ClientKey returns the identity a request is limited under.
@@ -121,7 +126,7 @@ func (l *RateLimiter) Clients() int {
 
 // Middleware enforces the limiter: over-limit requests are answered 429
 // with a Retry-After (whole seconds, rounded up so a client that honors it
-// never arrives early) and a rate_limited_total increment.
+// never arrives early) and a stencilserve_rate_limited_total increment.
 func (l *RateLimiter) Middleware() func(http.Handler) http.Handler {
 	return func(next http.Handler) http.Handler {
 		if l == nil || l.rate <= 0 {
@@ -130,7 +135,7 @@ func (l *RateLimiter) Middleware() func(http.Handler) http.Handler {
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			ok, retryAfter := l.allow(ClientKey(r))
 			if !ok {
-				add(l.metrics, "rate_limited_total", 1)
+				l.limited.Inc()
 				secs := int64(math.Ceil(retryAfter.Seconds()))
 				if secs < 1 {
 					secs = 1

@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memStatsCache throttles runtime.ReadMemStats, which stops the world
+// briefly: one read serves every runtime gauge on a scrape, and repeated
+// scrapes within a second reuse the previous snapshot.
+type memStatsCache struct {
+	mu   sync.Mutex
+	at   time.Time
+	stat runtime.MemStats
+}
+
+func (c *memStatsCache) get() *runtime.MemStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if time.Since(c.at) > time.Second {
+		runtime.ReadMemStats(&c.stat)
+		c.at = time.Now()
+	}
+	return &c.stat
+}
+
+// RegisterRuntimeMetrics adds process-level Go runtime gauges to r:
+// goroutine count, heap allocation, cumulative GC pause time and GC cycles.
+// Values are computed at scrape time.
+func RegisterRuntimeMetrics(r *Registry) {
+	cache := &memStatsCache{}
+	r.GaugeFunc("go_goroutines",
+		"Number of goroutines that currently exist.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("go_heap_alloc_bytes",
+		"Bytes of allocated heap objects.",
+		func() float64 { return float64(cache.get().HeapAlloc) })
+	r.CounterFunc("go_gc_pause_seconds_total",
+		"Cumulative seconds the program has spent in GC stop-the-world pauses.",
+		func() float64 { return float64(cache.get().PauseTotalNs) / 1e9 })
+	r.CounterFunc("go_gc_cycles_total",
+		"Number of completed GC cycles.",
+		func() float64 { return float64(cache.get().NumGC) })
+}

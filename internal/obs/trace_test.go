@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestTraceSpans(t *testing.T) {
+	var sunk []string
+	ctx, tr := WithTrace(context.Background(), func(stage string, _ float64) {
+		sunk = append(sunk, stage)
+	})
+
+	end := StartSpan(ctx, "cache_lookup")
+	end()
+	AddSpan(ctx, "flight_wait", time.Now(), 250*time.Microsecond)
+
+	spans := tr.Spans()
+	if len(spans) != 2 || spans[0].Stage != "cache_lookup" || spans[1].Stage != "flight_wait" {
+		t.Fatalf("spans = %+v", spans)
+	}
+	if spans[1].Dur != 250*time.Microsecond {
+		t.Errorf("flight_wait dur = %v", spans[1].Dur)
+	}
+	if len(sunk) != 2 || sunk[0] != "cache_lookup" || sunk[1] != "flight_wait" {
+		t.Errorf("sink calls = %v", sunk)
+	}
+
+	c := tr.Compact()
+	if len(c) != 2 || c[1].Stage != "flight_wait" || c[1].Micros != 250 {
+		t.Errorf("compact = %+v", c)
+	}
+}
+
+func TestSpanWithoutTraceIsNoOp(t *testing.T) {
+	ctx := context.Background()
+	end := StartSpan(ctx, "anything")
+	end() // must not panic
+	AddSpan(ctx, "anything", time.Now(), time.Millisecond)
+	if TraceFrom(ctx) != nil {
+		t.Error("TraceFrom on bare ctx should be nil")
+	}
+	var nilTrace *Trace
+	if nilTrace.Spans() != nil || nilTrace.Compact() != nil {
+		t.Error("nil trace accessors should return nil")
+	}
+}
+
+func TestTraceConcurrentAdd(t *testing.T) {
+	ctx, tr := WithTrace(context.Background(), nil)
+	done := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 100; j++ {
+				StartSpan(ctx, "s")()
+			}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		<-done
+	}
+	if got := len(tr.Spans()); got != 400 {
+		t.Errorf("spans = %d, want 400", got)
+	}
+}

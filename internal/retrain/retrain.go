@@ -22,7 +22,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
-	"log"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -33,6 +32,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/feature"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/perfmodel"
 	"repro/internal/store"
 	"repro/internal/svmrank"
@@ -76,9 +76,12 @@ type Config struct {
 	// OnPromote, when set, runs after a successful promotion — the server
 	// hooks its registry hot-swap here.
 	OnPromote func(name string)
-	// Logger receives worker progress lines (default: discard into log
-	// default writer only when set).
-	Logger *log.Logger
+	// Logger receives worker progress lines (nil discards them).
+	Logger *obs.Logger
+	// Registry, when non-nil, receives the worker's lifecycle metrics:
+	// stencilserve_retrain_{cycles,promotions,rejections,failures}_total and
+	// the candidate/incumbent canary-τ gauges. nil disables instrumentation.
+	Registry *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -147,6 +150,8 @@ type Worker struct {
 	train    *svmrank.Dataset // synthetic base minus holdout
 	holdout  *svmrank.Dataset // canary set
 
+	m workerMetrics
+
 	mu        sync.Mutex
 	lastCount int64
 
@@ -168,12 +173,36 @@ func New(cfg Config) (*Worker, error) {
 	if cfg.Store == nil {
 		return nil, fmt.Errorf("retrain: no store")
 	}
-	return &Worker{
+	w := &Worker{
 		cfg:  cfg.withDefaults(),
 		enc:  feature.NewEncoder(),
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
-	}, nil
+	}
+	if reg := cfg.Registry; reg != nil {
+		w.m = workerMetrics{
+			cycles: reg.Counter("stencilserve_retrain_cycles_total",
+				"Retrain attempts started."),
+			promotions: reg.Counter("stencilserve_retrain_promotions_total",
+				"Retrain candidates promoted by the canary gate."),
+			rejections: reg.Counter("stencilserve_retrain_rejections_total",
+				"Retrain candidates rejected by the canary gate."),
+			failures: reg.Counter("stencilserve_retrain_failures_total",
+				"Retrain attempts that errored before a gate decision."),
+			candidateTau: reg.Gauge("stencilserve_retrain_candidate_tau",
+				"Held-out Kendall tau of the most recent retrain candidate."),
+			incumbentTau: reg.Gauge("stencilserve_retrain_incumbent_tau",
+				"Held-out Kendall tau of the incumbent at the most recent gate."),
+		}
+	}
+	return w, nil
+}
+
+// workerMetrics are the worker's obs handles; all nil (no-op) without a
+// configured Registry.
+type workerMetrics struct {
+	cycles, promotions, rejections, failures *obs.Counter
+	candidateTau, incumbentTau               *obs.Gauge
 }
 
 func (w *Worker) logf(format string, args ...any) {
@@ -281,6 +310,23 @@ func holdoutQuery(q string, frac float64) bool {
 // promotes on a pass. It is safe to call concurrently with serving; only one
 // RetrainOnce should run at a time (Run serializes its own calls).
 func (w *Worker) RetrainOnce() (*Outcome, error) {
+	w.m.cycles.Inc()
+	out, err := w.retrainOnce()
+	if err != nil {
+		w.m.failures.Inc()
+		return nil, err
+	}
+	w.m.candidateTau.Set(out.CandidateTau)
+	w.m.incumbentTau.Set(out.IncumbentTau)
+	if out.Promoted {
+		w.m.promotions.Inc()
+	} else {
+		w.m.rejections.Inc()
+	}
+	return out, nil
+}
+
+func (w *Worker) retrainOnce() (*Outcome, error) {
 	baseTrain, holdout, err := w.base()
 	if err != nil {
 		return nil, err

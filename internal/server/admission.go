@@ -42,7 +42,7 @@ var errMeasureQueueFull = &httpError{
 func (s *Server) admitMeasure() (release func(), err error) {
 	select {
 	case s.measureSlots <- struct{}{}:
-		s.metrics.Add("measure_admitted", 1)
+		s.m.measureAdmitted.Inc()
 		var released atomic.Bool
 		return func() {
 			if released.CompareAndSwap(false, true) {
@@ -50,7 +50,7 @@ func (s *Server) admitMeasure() (release func(), err error) {
 			}
 		}, nil
 	default:
-		s.metrics.Add("measure_shed", 1)
+		s.m.measureShed.Inc()
 		return nil, errMeasureQueueFull
 	}
 }

@@ -2,7 +2,6 @@ package server
 
 import (
 	"encoding/json"
-	"expvar"
 	"fmt"
 	"net/http"
 	"sync"
@@ -18,25 +17,26 @@ import (
 // full the record is shed and counted (wal_dropped), never queued against the
 // client's latency. One background goroutine drains the buffer in batches —
 // every record of a batch is appended, then a single Sync makes the batch
-// durable and its cost is recorded (wal_fsync_seconds), so the fsync price is
-// amortized across whatever accumulated while the previous fsync ran.
+// durable and its cost lands in the wal_fsync_seconds histogram, so the
+// fsync price is amortized across whatever accumulated while the previous
+// fsync ran.
 type obsSink struct {
-	log     *wal.Log
-	metrics *expvar.Map
-	ch      chan wal.Record
-	done    chan struct{}
-	once    sync.Once
+	log  *wal.Log
+	m    *serverMetrics
+	ch   chan wal.Record
+	done chan struct{}
+	once sync.Once
 }
 
-func newObsSink(l *wal.Log, metrics *expvar.Map, depth int) *obsSink {
+func newObsSink(l *wal.Log, m *serverMetrics, depth int) *obsSink {
 	if depth <= 0 {
 		depth = 1024
 	}
 	o := &obsSink{
-		log:     l,
-		metrics: metrics,
-		ch:      make(chan wal.Record, depth),
-		done:    make(chan struct{}),
+		log:  l,
+		m:    m,
+		ch:   make(chan wal.Record, depth),
+		done: make(chan struct{}),
 	}
 	go o.run()
 	return o
@@ -48,7 +48,7 @@ func (o *obsSink) offer(r wal.Record) bool {
 	case o.ch <- r:
 		return true
 	default:
-		o.metrics.Add("wal_dropped", 1)
+		o.m.walDropped.Inc()
 		return false
 	}
 }
@@ -82,7 +82,7 @@ func (o *obsSink) write(batch []wal.Record) {
 	appended := 0
 	for _, r := range batch {
 		if err := o.log.Append(r); err != nil {
-			o.metrics.Add("wal_dropped", 1)
+			o.m.walDropped.Inc()
 			continue
 		}
 		appended++
@@ -92,10 +92,10 @@ func (o *obsSink) write(batch []wal.Record) {
 	}
 	start := time.Now()
 	if err := o.log.Sync(); err != nil {
-		o.metrics.Add("wal_sync_errors", 1)
+		o.m.walSyncErrors.Inc()
 	}
-	o.metrics.AddFloat("wal_fsync_seconds", time.Since(start).Seconds())
-	o.metrics.Add("wal_appended", int64(appended))
+	o.m.walFsync.Observe(time.Since(start).Seconds())
+	o.m.walAppended.Add(float64(appended))
 }
 
 // close flushes whatever is buffered and stops the writer goroutine. It does
@@ -153,7 +153,6 @@ type observeResponse struct {
 const maxObservations = 1024
 
 func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
-	s.metrics.Add("requests", 1)
 	if s.sink == nil {
 		s.fail(w, http.StatusServiceUnavailable,
 			fmt.Errorf("observation log not enabled on this server (start with -wal)"))
@@ -207,7 +206,7 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 			resp.Dropped++
 		}
 	}
-	s.metrics.Add("observations", int64(resp.Accepted))
+	s.m.observations.Add(float64(resp.Accepted))
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusAccepted)
 	json.NewEncoder(w).Encode(resp)

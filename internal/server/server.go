@@ -10,7 +10,9 @@
 //	POST /v1/predict  per-vector runtimes (simulator or measured) or scores
 //	GET  /v1/models   list the loaded models with their provenance
 //	GET  /healthz     liveness + build identity
-//	GET  /metrics     expvar counters (requests, cache, coalescing, ...)
+//	GET  /metrics     Prometheus text exposition (counters, gauges, latency
+//	                  and pipeline-stage histograms); the pre-observability
+//	                  flat JSON surface remains at /debug/vars
 //
 // Hot-path economics: responses are cached in a sharded LRU keyed by (model,
 // kernel structure, size, vector set, mode), and concurrent identical
@@ -29,7 +31,6 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"errors"
-	"expvar"
 	"fmt"
 	"io"
 	"net/http"
@@ -45,6 +46,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/dsl"
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/shape"
 	"repro/internal/stencil"
 	"repro/internal/store"
@@ -82,6 +84,14 @@ type Config struct {
 	// request path and the WAL writer (default 1024); beyond it records are
 	// shed, never blocking a request.
 	ObserveBuffer int
+	// Registry receives every metric the server records. nil creates a
+	// private registry, so independent Server instances (tests run many per
+	// process) keep independent counters; production passes one registry
+	// shared with the middleware chain and the retrainer.
+	Registry *obs.Registry
+	// AccessLog, when non-nil, receives one structured log line per request
+	// carrying the correlation ID, status, latency and pipeline spans.
+	AccessLog *obs.Logger
 }
 
 // Server is the tuning service. Create with New, mount Handler, Close when
@@ -106,9 +116,12 @@ type Server struct {
 	// while in-flight requests finish.
 	draining atomic.Bool
 
-	// metrics is an unpublished expvar.Map so independent Server instances
-	// (tests run many per process) keep independent counters.
-	metrics *expvar.Map
+	// m holds every metric handle, resolved once at construction; obsReg is
+	// the registry behind them (private unless Config.Registry was set).
+	m      *serverMetrics
+	obsReg *obs.Registry
+	// accessLog, when non-nil, gets one structured line per request.
+	accessLog *obs.Logger
 
 	// sink is the non-blocking WAL writer, nil when no WAL is configured.
 	sink *obsSink
@@ -156,6 +169,10 @@ func New(cfg Config) (*Server, error) {
 			cfg.Machine = "unknown"
 		}
 	}
+	obsReg := cfg.Registry
+	if obsReg == nil {
+		obsReg = obs.NewRegistry()
+	}
 	s := &Server{
 		reg:          reg,
 		cache:        newLRU(cfg.CacheSize),
@@ -163,12 +180,15 @@ func New(cfg Config) (*Server, error) {
 		maxBody:      cfg.MaxBodyBytes,
 		start:        time.Now(),
 		build:        buildinfo.Read(),
-		metrics:      new(expvar.Map).Init(),
+		m:            newServerMetrics(obsReg),
+		obsReg:       obsReg,
+		accessLog:    cfg.AccessLog,
 		measureSlots: make(chan struct{}, cfg.MeasureQueueDepth),
 		machine:      cfg.Machine,
 	}
+	s.registerGauges()
 	if cfg.WAL != nil {
-		s.sink = newObsSink(cfg.WAL, s.metrics, cfg.ObserveBuffer)
+		s.sink = newObsSink(cfg.WAL, s.m, cfg.ObserveBuffer)
 	}
 	return s, nil
 }
@@ -225,35 +245,38 @@ func (s *Server) RollbackModel() (string, int64, error) { return s.reg.Rollback(
 // RegistryVersion reports the currently served registry generation.
 func (s *Server) RegistryVersion() int64 { return s.reg.Version() }
 
-// MetricValue returns a counter's current value (0 when never touched).
+// MetricValue returns a counter's current value by its pre-observability
+// flat name (0 when never touched), preserving the original accessor for
+// tests and callers that predate the obs registry.
 func (s *Server) MetricValue(name string) int64 {
-	if v, ok := s.metrics.Get(name).(*expvar.Int); ok {
-		return v.Value()
-	}
-	return 0
+	return int64(s.legacyValue(name))
 }
 
 // FlightWaiting reports how many requests are currently parked behind an
 // in-flight identical computation.
 func (s *Server) FlightWaiting() int { return s.flight.Waiting() }
 
-// Handler returns the route mux.
+// Handler returns the route mux. Every route is wrapped by instrument, so
+// per-endpoint request counters, latency histograms, trace spans and access
+// logging apply identically however the handler is mounted.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/tune", s.post(s.handleTune))
-	mux.HandleFunc("/v1/rank", s.post(s.handleRank))
-	mux.HandleFunc("/v1/predict", s.post(s.handlePredict))
-	mux.HandleFunc("/v1/observe", s.post(s.handleObserve))
-	mux.HandleFunc("/v1/models", s.handleModels)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/v1/tune", s.instrument("tune", s.post(s.handleTune)))
+	mux.HandleFunc("/v1/rank", s.instrument("rank", s.post(s.handleRank)))
+	mux.HandleFunc("/v1/predict", s.instrument("predict", s.post(s.handlePredict)))
+	mux.HandleFunc("/v1/observe", s.instrument("observe", s.post(s.handleObserve)))
+	mux.HandleFunc("/v1/models", s.instrument("models", s.handleModels))
+	mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("/readyz", s.instrument("readyz", s.handleReadyz))
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/vars", s.handleDebugVars)
 	return mux
 }
 
-// Metrics exposes the server's counter map so operational middleware
-// (panic recovery, rate limiting) records into the same /metrics surface.
-func (s *Server) Metrics() *expvar.Map { return s.metrics }
+// ObsRegistry exposes the server's metrics registry so operational
+// middleware (panic recovery, rate limiting) and the retrainer record into
+// the same /metrics surface.
+func (s *Server) ObsRegistry() *obs.Registry { return s.obsReg }
 
 // StartDraining marks the server not-ready: /readyz answers 503 so load
 // balancers stop routing here, while existing endpoints keep serving until
@@ -463,7 +486,7 @@ func (s *Server) fail(w http.ResponseWriter, code int, err error) {
 			w.Header().Set("Retry-After", strconv.Itoa(he.retryAfter))
 		}
 	}
-	s.metrics.Add("errors", 1)
+	s.m.errors.Inc()
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
@@ -503,19 +526,27 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) error {
 // error retries the flight under its own context. The X-Cache header
 // reports which path answered: hit, miss or coalesced.
 func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string, compute func(ctx context.Context) (any, error)) {
-	s.metrics.Add("requests", 1)
-	if b, ok := s.cache.Get(key); ok {
-		s.metrics.Add("cache_hits", 1)
+	// recordSpan rather than StartSpan: the hot path pays a closure
+	// allocation per StartSpan call, and cache lookups run on every request.
+	lookupStart := time.Now()
+	b, ok := s.cache.Get(key)
+	s.recordSpan(r.Context(), "cache_lookup", lookupStart, time.Since(lookupStart))
+	if ok {
+		s.m.cacheHits.Inc()
 		s.respond(w, "hit", b)
 		return
 	}
-	s.metrics.Add("cache_misses", 1)
+	s.m.cacheMisses.Inc()
 	run := func() ([]byte, error) {
 		if s.testHookInfer != nil {
 			s.testHookInfer()
 		}
-		s.metrics.Add("inferences", 1)
+		s.m.inferences.Inc()
+		// The inference span lands on the flight leader's trace: the leader
+		// did the work, waiters record flight_wait instead.
+		inferStart := time.Now()
 		resp, err := compute(r.Context())
+		s.recordSpan(r.Context(), "inference", inferStart, time.Since(inferStart))
 		if err != nil {
 			return nil, err
 		}
@@ -526,11 +557,12 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string,
 		s.cache.Put(key, b)
 		return b, nil
 	}
+	flightStart := time.Now()
 	b, err, shared := s.flight.Do(r.Context(), key, run)
 	if err != nil && shared && isCtxErr(err) && r.Context().Err() == nil {
 		// The leader was cancelled, we were not: retry as (or behind) a new
 		// leader, and report what the retry actually did.
-		s.metrics.Add("flight_retries", 1)
+		s.m.flightRetries.Inc()
 		b, err, shared = s.flight.Do(r.Context(), key, run)
 	}
 	if err != nil {
@@ -544,7 +576,10 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string,
 	}
 	source := "miss"
 	if shared {
-		s.metrics.Add("coalesced", 1)
+		s.m.coalesced.Inc()
+		// Only now is this request known to be a waiter, not the leader:
+		// record the time it spent parked behind the shared flight.
+		s.recordSpan(r.Context(), "flight_wait", flightStart, time.Since(flightStart))
 		source = "coalesced"
 	}
 	s.respond(w, source, b)
@@ -573,8 +608,10 @@ func (s *Server) evaluatorFor(ctx context.Context, lm *loadedModel, mode string)
 	case "", "sim":
 		return dataset.Memoized(dataset.BatchedContext(ctx, lm.sim, s.workers)), noop, nil
 	case "measure":
-		s.metrics.Add("measure_requests", 1)
+		s.m.measureRequests.Inc()
+		waitStart := time.Now()
 		release, err := s.admitMeasure()
+		s.recordSpan(ctx, "queue_wait", waitStart, time.Since(waitStart))
 		if err != nil {
 			return nil, noop, err
 		}
@@ -586,7 +623,7 @@ func (s *Server) evaluatorFor(ctx context.Context, lm *loadedModel, mode string)
 			release()
 			return nil, noop, fmt.Errorf("server is shutting down")
 		}
-		return dataset.Memoized(measuredEval{m}), release, nil
+		return dataset.Memoized(spanEval{measuredEval{m}, ctx, s}), release, nil
 	default:
 		return nil, noop, fmt.Errorf("unknown mode %q (want sim or measure)", mode)
 	}
@@ -604,6 +641,26 @@ func (e measuredEval) Runtime(q stencil.Instance, t tunespace.Vector) float64 {
 func (e measuredEval) RuntimeBatch(q stencil.Instance, ts []tunespace.Vector) []float64 {
 	out, _ := e.m.MeasureBatch(q, ts)
 	return out
+}
+
+// spanEval records a "measure" span around each real evaluation. It sits
+// inside Memoized, so deduplicated repeats never record phantom spans.
+type spanEval struct {
+	inner dataset.BatchEvaluator
+	ctx   context.Context
+	s     *Server
+}
+
+func (e spanEval) Runtime(q stencil.Instance, t tunespace.Vector) float64 {
+	start := time.Now()
+	defer func() { e.s.recordSpan(e.ctx, "measure", start, time.Since(start)) }()
+	return e.inner.Runtime(q, t)
+}
+
+func (e spanEval) RuntimeBatch(q stencil.Instance, ts []tunespace.Vector) []float64 {
+	start := time.Now()
+	defer func() { e.s.recordSpan(e.ctx, "measure", start, time.Since(start)) }()
+	return e.inner.RuntimeBatch(q, ts)
 }
 
 // ---------------------------------------------------------------------------
@@ -888,7 +945,6 @@ type modelInfo struct {
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
-	s.metrics.Add("requests", 1)
 	rs := s.reg.snapshot()
 	out := struct {
 		Default         string            `json:"default"`
@@ -964,17 +1020,10 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleMetrics serves the Prometheus text exposition of the full registry:
+// the server's own series plus whatever the middleware chain, retrainer and
+// runtime gauges registered alongside them.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.metrics.Set("cache_entries", intVar(int64(s.cache.Len())))
-	s.metrics.Set("flight_waiting", intVar(int64(s.flight.Waiting())))
-	s.metrics.Set("measure_queue_depth", intVar(int64(s.MeasureQueueDepth())))
-	s.metrics.Set("measure_queue_capacity", intVar(int64(s.MeasureQueueCapacity())))
-	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintf(w, "{\"stencilserve\": %s}\n", s.metrics.String())
-}
-
-func intVar(v int64) *expvar.Int {
-	i := new(expvar.Int)
-	i.Set(v)
-	return i
+	w.Header().Set("Content-Type", obs.TextContentType)
+	s.obsReg.WritePrometheus(w)
 }

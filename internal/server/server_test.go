@@ -412,10 +412,11 @@ func TestModelsHealthzMetrics(t *testing.T) {
 	}
 
 	postJSON(t, h, "/v1/tune", `{"model":"tiny","kernel":"edge","size":"256x256"}`)
-	metrics := get("/metrics")
-	mm := metrics["stencilserve"].(map[string]any)
+	// The pre-observability flat JSON surface lives on at /debug/vars.
+	vars := get("/debug/vars")
+	mm := vars["stencilserve"].(map[string]any)
 	if mm["requests"].(float64) < 1 || mm["inferences"].(float64) < 1 {
-		t.Errorf("metrics after a request = %v", mm)
+		t.Errorf("legacy metrics after a request = %v", mm)
 	}
 }
 
