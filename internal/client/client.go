@@ -59,6 +59,11 @@ type Config struct {
 	// Seed, when non-zero, makes the jitter deterministic — the resilience
 	// tests replay exact retry schedules.
 	Seed int64
+	// MaxResponseBytes caps how much of a response body the client reads
+	// (default 64 MiB). A body at or over the cap is a definitive error —
+	// truncated JSON would decode as garbage on every retry, so the client
+	// fails fast instead of burning MaxAttempts on a deterministic outcome.
+	MaxResponseBytes int64
 }
 
 // Client calls the tuning service. Safe for concurrent use.
@@ -92,6 +97,9 @@ func New(cfg Config) (*Client, error) {
 	}
 	if cfg.MaxBackoff <= 0 {
 		cfg.MaxBackoff = 5 * time.Second
+	}
+	if cfg.MaxResponseBytes <= 0 {
+		cfg.MaxResponseBytes = 64 << 20
 	}
 	seed := cfg.Seed
 	if seed == 0 {
@@ -332,9 +340,16 @@ func (c *Client) attempt(ctx context.Context, path, requestID string, payload []
 		return "", true, fmt.Errorf("client: %v", err)
 	}
 	defer resp.Body.Close()
-	b, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	// Read one byte past the cap: len(b) > max then distinguishes a truly
+	// over-limit body from one that is exactly at it. An at-limit truncation
+	// used to decode as garbage and get retried MaxAttempts times with full
+	// backoff, even though the outcome is deterministic.
+	b, err := io.ReadAll(io.LimitReader(resp.Body, c.cfg.MaxResponseBytes+1))
 	if err != nil {
 		return "", true, fmt.Errorf("client: reading response: %v", err)
+	}
+	if int64(len(b)) > c.cfg.MaxResponseBytes {
+		return "", false, fmt.Errorf("client: response body exceeds the %d-byte client limit; refusing to retry a deterministic failure", c.cfg.MaxResponseBytes)
 	}
 
 	if resp.StatusCode != http.StatusOK {
@@ -362,10 +377,23 @@ type retryAfterError struct {
 
 func (e *retryAfterError) Unwrap() error { return e.APIError }
 
+// rememberRetryAfter attaches the server's Retry-After hint to the error.
+// RFC 9110 allows both delay-seconds and an HTTP-date; a date in the past
+// (or a zero/negative delay) floors to zero, i.e. plain jittered backoff.
 func (c *Client) rememberRetryAfter(apiErr *APIError, resp *http.Response) error {
-	if ra := resp.Header.Get("Retry-After"); ra != "" {
-		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+	ra := resp.Header.Get("Retry-After")
+	if ra == "" {
+		return apiErr
+	}
+	if secs, err := strconv.Atoi(ra); err == nil {
+		if secs > 0 {
 			return &retryAfterError{APIError: apiErr, after: time.Duration(secs) * time.Second}
+		}
+		return apiErr
+	}
+	if when, err := http.ParseTime(ra); err == nil {
+		if d := time.Until(when); d > 0 {
+			return &retryAfterError{APIError: apiErr, after: d}
 		}
 	}
 	return apiErr

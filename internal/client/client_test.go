@@ -2,9 +2,11 @@ package client
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -347,5 +349,119 @@ func TestBackoffCappedWithFullJitter(t *testing.T) {
 	rae := &retryAfterError{APIError: &APIError{StatusCode: 429}, after: 3 * time.Second}
 	if d := c.backoff(1, rae); d < 3*time.Second {
 		t.Errorf("backoff with Retry-After 3s = %v, want >= 3s", d)
+	}
+}
+
+// TestTruncatedResponseIsDefinitive: a 200 body at the response-size cap is
+// a truncation — the decoded JSON is garbage on this attempt and every
+// retry, so the client must fail once with an error naming the limit
+// instead of burning MaxAttempts on full backoff.
+func TestTruncatedResponseIsDefinitive(t *testing.T) {
+	var calls atomic.Int64
+	big := strings.Repeat("x", 4096) // longer than the 1 KiB cap below
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		fmt.Fprintf(w, `{"model":"m","instance":"%s"`, big) // valid prefix, huge body
+	}))
+	defer ts.Close()
+
+	cfg := fastCfg(ts.URL)
+	cfg.MaxResponseBytes = 1024
+	c := mustClient(t, cfg)
+	_, err := c.Tune(context.Background(), TuneRequest{Kernel: NamedKernel("blur"), Size: "64x64"})
+	if err == nil {
+		t.Fatal("over-limit response produced no error")
+	}
+	if !strings.Contains(err.Error(), "1024-byte") {
+		t.Errorf("error %q does not name the size limit", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d calls for a deterministic truncation, want exactly 1 (no retries)", got)
+	}
+}
+
+// TestAtLimitResponseStillDecodes: a body exactly at the cap is not treated
+// as truncated — the limit check reads one byte past the cap to tell the
+// two apart.
+func TestAtLimitResponseStillDecodes(t *testing.T) {
+	payload := []byte(`{"model":"m","instance":"i","best":{"bx":8,"by":8,"u":0,"c":1}}`)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(payload)
+	}))
+	defer ts.Close()
+
+	cfg := fastCfg(ts.URL)
+	cfg.MaxResponseBytes = int64(len(payload)) // exactly at the limit
+	c := mustClient(t, cfg)
+	resp, err := c.Tune(context.Background(), TuneRequest{Kernel: NamedKernel("blur"), Size: "64x64"})
+	if err != nil {
+		t.Fatalf("at-limit response: %v", err)
+	}
+	if resp.Best != (Vector{Bx: 8, By: 8, U: 0, C: 1}) {
+		t.Errorf("decoded best = %+v", resp.Best)
+	}
+}
+
+// TestHonorsRetryAfterHTTPDate: RFC 9110 allows Retry-After as an HTTP-date
+// as well as delay-seconds; the date form must floor the backoff too (it
+// used to fall back silently to the millisecond jitter schedule).
+func TestHonorsRetryAfterHTTPDate(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", time.Now().Add(1200*time.Millisecond).UTC().Format(http.TimeFormat))
+			http.Error(w, `{"error":"maintenance"}`, http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"model":"m","instance":"i","best":{"bx":1,"by":1,"u":0,"c":1}}`))
+	}))
+	defer ts.Close()
+
+	c := mustClient(t, fastCfg(ts.URL)) // jitter cap 5ms << the ~1.2s hint
+	start := time.Now()
+	if _, err := c.Tune(context.Background(), TuneRequest{Kernel: NamedKernel("blur"), Size: "64x64"}); err != nil {
+		t.Fatalf("Tune after dated 503: %v", err)
+	}
+	// HTTP-dates have whole-second resolution, so the observed floor can be
+	// up to a second under the nominal 1.2s; it must still clearly beat the
+	// 5ms jitter cap.
+	if elapsed := time.Since(start); elapsed < 150*time.Millisecond {
+		t.Errorf("retried after %v, want a wait honoring the HTTP-date Retry-After", elapsed)
+	}
+}
+
+// TestRetryAfterDateInPastFloorsToZero: a date at or before now yields no
+// floor at all — the jittered schedule applies unchanged, and the wait
+// never goes negative.
+func TestRetryAfterDateInPastFloorsToZero(t *testing.T) {
+	c := mustClient(t, fastCfg("http://unused"))
+	mkResp := func(ra string) *http.Response {
+		h := http.Header{}
+		h.Set("Retry-After", ra)
+		return &http.Response{Header: h}
+	}
+	apiErr := &APIError{StatusCode: http.StatusServiceUnavailable}
+
+	past := c.rememberRetryAfter(apiErr, mkResp(time.Now().Add(-time.Hour).UTC().Format(http.TimeFormat)))
+	var rae *retryAfterError
+	if errors.As(past, &rae) {
+		t.Errorf("past HTTP-date produced a floor of %v, want none", rae.after)
+	}
+	for i := 0; i < 100; i++ {
+		if d := c.backoff(1, past); d < 0 || d > c.cfg.MaxBackoff {
+			t.Fatalf("backoff after past-dated Retry-After = %v, want within the plain jitter schedule", d)
+		}
+	}
+
+	future := c.rememberRetryAfter(apiErr, mkResp(time.Now().Add(30*time.Second).UTC().Format(http.TimeFormat)))
+	if !errors.As(future, &rae) || rae.after <= 0 || rae.after > 30*time.Second {
+		t.Errorf("future HTTP-date floor = %v, want within (0s, 30s]", future)
+	}
+
+	if secs := c.rememberRetryAfter(apiErr, mkResp("7")); !errors.As(secs, &rae) || rae.after != 7*time.Second {
+		t.Errorf("delay-seconds floor = %v, want 7s", secs)
+	}
+	if junk := c.rememberRetryAfter(apiErr, mkResp("soon-ish")); errors.As(junk, &rae) {
+		t.Errorf("unparseable Retry-After produced a floor, want none")
 	}
 }

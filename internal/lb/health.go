@@ -1,0 +1,96 @@
+package lb
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// healthLoop probes every backend's /readyz on a fixed cadence and is the
+// only writer of eject/readmit state. A backend is ejected after
+// EjectAfter consecutive probe failures (routing then skips it) and
+// readmitted after ReadmitAfter consecutive successes — hysteresis in both
+// directions so one slow probe does not flap the ring assignment.
+func (b *Balancer) healthLoop(ctx context.Context) {
+	defer close(b.done)
+	t := time.NewTicker(b.cfg.HealthInterval)
+	defer t.Stop()
+	b.probeAll(ctx)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			b.probeAll(ctx)
+		}
+	}
+}
+
+func (b *Balancer) probeAll(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, be := range b.backends {
+		wg.Add(1)
+		go func(be *backend) {
+			defer wg.Done()
+			b.probeOne(ctx, be)
+		}(be)
+	}
+	wg.Wait()
+}
+
+// probeOne GETs the backend's /readyz. Ready replicas also report their
+// registry_generation there, so the fleet-lockstep view in /lb/status rides
+// the health checks with no extra round-trips.
+func (b *Balancer) probeOne(ctx context.Context, be *backend) {
+	err := func() error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, be.url+"/readyz", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := b.probes.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		var decoded struct {
+			Generation string `json:"registry_generation"`
+		}
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&decoded); err == nil && decoded.Generation != "" {
+			be.generation.Store(&decoded.Generation)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("readyz answered HTTP %d", resp.StatusCode)
+		}
+		return nil
+	}()
+	if err != nil {
+		if ctx.Err() != nil {
+			return // shutting down, not a backend failure
+		}
+		msg := err.Error()
+		be.lastErr.Store(&msg)
+		be.consecOK.Store(0)
+		fails := be.consecFail.Add(1)
+		if int(fails) >= b.cfg.EjectAfter && be.healthy.CompareAndSwap(true, false) {
+			b.met.up.With(be.url).Set(0)
+			b.met.ejections.With(be.url).Inc()
+			b.cfg.Logger.Warn("backend ejected",
+				obs.F("backend", be.url), obs.F("consecutive_failures", int(fails)), obs.F("error", msg))
+		}
+		return
+	}
+	be.consecFail.Store(0)
+	oks := be.consecOK.Add(1)
+	if int(oks) >= b.cfg.ReadmitAfter && be.healthy.CompareAndSwap(false, true) {
+		b.met.up.With(be.url).Set(1)
+		b.met.readmissions.With(be.url).Inc()
+		b.cfg.Logger.Info("backend readmitted",
+			obs.F("backend", be.url), obs.F("consecutive_successes", int(oks)))
+	}
+}

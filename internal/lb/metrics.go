@@ -1,0 +1,35 @@
+package lb
+
+import "repro/internal/obs"
+
+// metrics is the stencillb_* observability surface. Per-backend request
+// counts double as the route-hash spread view: with consistent hashing the
+// counts should track each backend's share of the ring.
+type metrics struct {
+	requests     *obs.CounterVec
+	errors       *obs.CounterVec
+	ejections    *obs.CounterVec
+	readmissions *obs.CounterVec
+	up           *obs.GaugeVec
+	routed       *obs.CounterVec
+	latency      *obs.Histogram
+}
+
+func newMetrics(r *obs.Registry) *metrics {
+	return &metrics{
+		requests: r.CounterVec("stencillb_backend_requests_total",
+			"Requests forwarded, by backend; the route-hash spread over the fleet.", "backend"),
+		errors: r.CounterVec("stencillb_backend_errors_total",
+			"Transport-level proxy failures (no HTTP response received), by backend.", "backend"),
+		ejections: r.CounterVec("stencillb_ejections_total",
+			"Health-probe ejections, by backend.", "backend"),
+		readmissions: r.CounterVec("stencillb_readmissions_total",
+			"Health-probe readmissions after an ejection, by backend.", "backend"),
+		up: r.GaugeVec("stencillb_backend_up",
+			"1 while the backend is in rotation, 0 while ejected.", "backend"),
+		routed: r.CounterVec("stencillb_routed_total",
+			"Requests by routing mode: hash (kernel-structure key) or spread (unroutable body).", "mode"),
+		latency: r.Histogram("stencillb_request_seconds",
+			"End-to-end proxied request latency.", obs.LatencyBuckets),
+	}
+}

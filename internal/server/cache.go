@@ -2,7 +2,6 @@ package server
 
 import (
 	"container/list"
-	"hash/fnv"
 	"sync"
 )
 
@@ -44,10 +43,24 @@ func newLRU(capacity int) *lruCache {
 	return c
 }
 
+// fnv1a32 is FNV-1a over the string's bytes, inlined so the hot cached path
+// pays no hasher allocation and no []byte(key) copy. It produces exactly the
+// same values as hash/fnv's New32a, so shard placement is unchanged.
+func fnv1a32(key string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return h
+}
+
 func (c *lruCache) shard(key string) *lruShard {
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	return &c.shards[h.Sum32()%lruShards]
+	return &c.shards[fnv1a32(key)%lruShards]
 }
 
 // Get returns the cached response for key and refreshes its recency.

@@ -1,0 +1,69 @@
+package server
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+)
+
+// TestShardHashMatchesStdlibFNV pins the inlined FNV-1a to hash/fnv's
+// New32a, so the rewrite cannot silently re-shard existing keyspaces.
+func TestShardHashMatchesStdlibFNV(t *testing.T) {
+	keys := []string{
+		"", "a", "tune|tiny@abc|deadbeef|100x100x100|0|sim",
+		"rank|m@h|fp|64x64x64|vs|true",
+		"predict|model@hash|fingerprint|128x128|sethash|measure",
+	}
+	for i := 0; i < 64; i++ {
+		keys = append(keys, fmt.Sprintf("key-%d-%x", i, i*2654435761))
+	}
+	for _, k := range keys {
+		h := fnv.New32a()
+		h.Write([]byte(k))
+		if got, want := fnv1a32(k), h.Sum32(); got != want {
+			t.Fatalf("fnv1a32(%q) = %#x, want stdlib %#x", k, got, want)
+		}
+	}
+}
+
+// TestCacheGetPutAllocFree asserts the perf contract of the hot cached path:
+// shard selection plus Get on a resident key allocates nothing. (Put of a
+// new entry legitimately allocates the entry and list element.)
+func TestCacheGetPutAllocFree(t *testing.T) {
+	c := newLRU(256)
+	key := "tune|tiny@contenthash|kernelfingerprint|100x100x100|0|sim"
+	c.Put(key, []byte("cached response"))
+
+	if n := testing.AllocsPerRun(1000, func() {
+		if _, ok := c.Get(key); !ok {
+			t.Fatal("resident key missed")
+		}
+	}); n != 0 {
+		t.Fatalf("Get on a resident key allocates %.1f times per op, want 0", n)
+	}
+	val := []byte("cached response")
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Put(key, val) // overwrite path: refresh recency, no new entry
+	}); n != 0 {
+		t.Fatalf("Put on a resident key allocates %.1f times per op, want 0", n)
+	}
+}
+
+// BenchmarkCacheShardedGet is the microbenchmark behind the cached-tune hot
+// path: one LRU hit, including shard selection. Run with -benchmem; the fix
+// target is 0 allocs/op (it was 2 allocs/op — hasher + key copy — before).
+func BenchmarkCacheShardedGet(b *testing.B) {
+	c := newLRU(4096)
+	keys := make([]string, 64)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("tune|tiny@%032x|%032x|100x100x100|0|sim", i, i*7)
+		c.Put(keys[i], []byte("cached response body of a realistic size: ~200 bytes of JSON"))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Get(keys[i%len(keys)]); !ok {
+			b.Fatal("miss")
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+)
+
+// ---------------------------------------------------------------------------
+// Content-derived registry generation
+
+// TestGenerationSharedAcrossReplicas is the fleet-lockstep contract: two
+// server processes over the same store directory report the same
+// registry_generation even though each counts its own registry_version, and
+// a local reload against unchanged store content keeps the generation stable.
+func TestGenerationSharedAcrossReplicas(t *testing.T) {
+	dir, st := swapStore(t, "default", "candidate")
+	a, err := New(Config{ModelDir: dir, CacheSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(a.Close)
+	b, err := New(Config{ModelDir: dir, CacheSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(b.Close)
+
+	genA, genB := a.RegistryGeneration(), b.RegistryGeneration()
+	if genA == "" || genA != genB {
+		t.Fatalf("replica generations %q vs %q, want equal and non-empty", genA, genB)
+	}
+
+	// Reload one replica with nothing changed: version diverges (a local
+	// reload counter), generation must not (content is identical).
+	if _, err := a.ReloadModels(); err != nil {
+		t.Fatal(err)
+	}
+	if a.RegistryVersion() == b.RegistryVersion() {
+		t.Fatalf("versions should diverge after one-sided reload, both %d", a.RegistryVersion())
+	}
+	if a.RegistryGeneration() != genB {
+		t.Fatalf("generation changed on no-op reload: %q -> %q", genB, a.RegistryGeneration())
+	}
+
+	// Change store content and reload: the generation must move.
+	base, err := st.Load("candidate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	saveVariant(t, st, base, "candidate", 9)
+	if _, err := a.ReloadModels(); err != nil {
+		t.Fatal(err)
+	}
+	if a.RegistryGeneration() == genA {
+		t.Fatalf("generation %q unchanged after store content changed", genA)
+	}
+}
+
+// TestModelsPostReloads exercises the wire-level SIGHUP equivalent: POST
+// /v1/models reloads the registry from the store and answers with the fresh
+// listing, which is what stencil-lb -broadcast-reload relies on.
+func TestModelsPostReloads(t *testing.T) {
+	dir, st := swapStore(t, "default")
+	s, err := New(Config{ModelDir: dir, CacheSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	h := s.Handler()
+
+	gen1 := s.RegistryGeneration()
+	base, err := st.Load("default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	saveVariant(t, st, base, "default", 5)
+
+	w, out := postJSON(t, h, "/v1/models", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("POST /v1/models: %d: %s", w.Code, w.Body.String())
+	}
+	if rv, _ := out["registry_version"].(float64); int64(rv) != 2 {
+		t.Fatalf("registry_version after POST = %v, want 2", out["registry_version"])
+	}
+	gen2, _ := out["registry_generation"].(string)
+	if gen2 == "" || gen2 == gen1 {
+		t.Fatalf("registry_generation after content change = %q (was %q), want a fresh value", gen2, gen1)
+	}
+	if s.RegistryVersion() != 2 {
+		t.Fatalf("server registry_version = %d, want 2", s.RegistryVersion())
+	}
+
+	// GET must stay read-only: no version bump.
+	wg, outg := getJSON(t, h, "/v1/models")
+	if wg.Code != http.StatusOK {
+		t.Fatalf("GET /v1/models: %d", wg.Code)
+	}
+	if rv, _ := outg["registry_version"].(float64); int64(rv) != 2 {
+		t.Fatalf("GET bumped registry_version to %v", outg["registry_version"])
+	}
+	if g, _ := outg["registry_generation"].(string); g != gen2 {
+		t.Fatalf("GET generation %q != POST generation %q", g, gen2)
+	}
+}
+
+// TestReadyzReportsGeneration checks the probe a load balancer scrapes
+// carries the generation, so fleet-lockstep checks ride the health checks
+// that already happen.
+func TestReadyzReportsGeneration(t *testing.T) {
+	s := newTestServer(t)
+	w, out := getJSON(t, s.Handler(), "/readyz")
+	if w.Code != http.StatusOK {
+		t.Fatalf("/readyz: %d", w.Code)
+	}
+	if g, _ := out["registry_generation"].(string); g == "" || g != s.RegistryGeneration() {
+		t.Fatalf("/readyz registry_generation = %v, want %q", out["registry_generation"], s.RegistryGeneration())
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Routing key
+
+// TestRoutingKeyMatchesCacheDomain pins RoutingKey to the structural cache
+// key: two bodies that could share a cache entry (same model, structurally
+// equal kernel, same size) must route identically, and any dimension that
+// splits the cache must split the route.
+func TestRoutingKeyMatchesCacheDomain(t *testing.T) {
+	k1, ok := RoutingKey([]byte(`{"kernel":"laplacian","size":"64x64x64"}`))
+	if !ok || k1 == "" {
+		t.Fatalf("RoutingKey on a valid body: %q, %v", k1, ok)
+	}
+	// Field order and whitespace are wire noise, not structure.
+	k2, ok := RoutingKey([]byte(` {"size": "64x64x64", "kernel": "laplacian"} `))
+	if !ok || k2 != k1 {
+		t.Fatalf("reordered body routed to %q, want %q", k2, k1)
+	}
+	// Structurally equal offset-list kernels coalesce regardless of the
+	// informational name, exactly like the response cache does.
+	const offsets = `[[0,0,0],[1,0,0],[-1,0,0],[0,1,0],[0,-1,0],[0,0,1],[0,0,-1]]`
+	k3, ok := RoutingKey([]byte(`{"kernel":{"name":"mine","offsets":` + offsets + `},"size":"64x64x64"}`))
+	if !ok {
+		t.Fatal("structural kernel body did not parse")
+	}
+	if kOther, _ := RoutingKey([]byte(`{"kernel":{"name":"yours","offsets":` + offsets + `},"size":"64x64x64"}`)); kOther != k3 {
+		t.Fatalf("structurally equal kernels under different names routed apart: %q vs %q", kOther, k3)
+	}
+
+	if kSize, _ := RoutingKey([]byte(`{"kernel":"laplacian","size":"128x128x128"}`)); kSize == k1 {
+		t.Fatal("different sizes must route apart")
+	}
+	if kModel, _ := RoutingKey([]byte(`{"model":"other","kernel":"laplacian","size":"64x64x64"}`)); kModel == k1 {
+		t.Fatal("different models must route apart")
+	}
+
+	for _, bad := range []string{``, `{`, `{"kernel":"no-such-kernel","size":"64x64x64"}`, `{"kernel":"laplacian","size":"0x0"}`} {
+		if _, ok := RoutingKey([]byte(bad)); ok {
+			t.Fatalf("RoutingKey accepted unroutable body %q", bad)
+		}
+	}
+}

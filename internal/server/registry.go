@@ -1,7 +1,10 @@
 package server
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -37,6 +40,11 @@ type regState struct {
 	version     int64
 	history     []store.Promotion
 	loadedAt    time.Time
+	// generation is a content-derived fingerprint of the loaded model set
+	// (names, content hashes, default). Unlike version — a per-process
+	// reload counter — it is identical across replicas serving the same
+	// store state, so a load balancer can check a fleet is in lockstep.
+	generation string
 	// skipped lists artifacts present in the store that failed to load on
 	// this generation (torn re-save, incompatible feature dim, ...); they are
 	// reported, not served.
@@ -130,7 +138,24 @@ func loadRegState(dir string, version int64) (*regState, error) {
 		}
 	}
 	rs.history = hist
+	rs.generation = contentGeneration(rs)
 	return rs, nil
+}
+
+// contentGeneration hashes what the generation serves — every loaded model's
+// name and content hash plus the default — so replicas loading the same
+// store state report the same value regardless of how many local reloads
+// each has been through.
+func contentGeneration(rs *regState) string {
+	h := sha256.New()
+	for _, name := range rs.names {
+		io.WriteString(h, name)
+		io.WriteString(h, "\x00")
+		io.WriteString(h, rs.models[name].info.ContentHash)
+		io.WriteString(h, "\x00")
+	}
+	io.WriteString(h, rs.defaultName)
+	return hex.EncodeToString(h.Sum(nil)[:8])
 }
 
 // snapshot returns the current immutable generation. Handlers call it exactly
@@ -140,6 +165,10 @@ func (r *Registry) snapshot() *regState { return r.cur.Load() }
 
 // Version returns the currently served registry generation.
 func (r *Registry) Version() int64 { return r.snapshot().version }
+
+// Generation returns the content-derived fingerprint of the served model
+// set; replicas over the same store dir report the same value.
+func (r *Registry) Generation() string { return r.snapshot().generation }
 
 // Reload loads a fresh generation from the store directory and atomically
 // swaps it in. On any load error the running generation stays in place

@@ -245,6 +245,12 @@ func (s *Server) RollbackModel() (string, int64, error) { return s.reg.Rollback(
 // RegistryVersion reports the currently served registry generation.
 func (s *Server) RegistryVersion() int64 { return s.reg.Version() }
 
+// RegistryGeneration reports the content-derived fingerprint of the served
+// model set. Replicas started from (or reloaded against) the same -models
+// store state report the same generation, which is how a load balancer
+// verifies a fleet serves one model set.
+func (s *Server) RegistryGeneration() string { return s.reg.Generation() }
+
 // MetricValue returns a counter's current value by its pre-observability
 // flat name (0 when never touched), preserving the original accessor for
 // tests and callers that predate the obs registry.
@@ -442,6 +448,26 @@ func kernelFingerprint(k *stencil.Kernel) string {
 		hashInts(h, p.X, p.Y, p.Z, k.Shape.Multiplicity(p))
 	}
 	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// RoutingKey derives the consistent-hash routing key a load balancer uses to
+// pin a request body to one replica. It is the structural prefix of the
+// response cache key — requested model, kernel-structure fingerprint, size —
+// so all requests that could share a cache entry or coalesce in a
+// singleflight land on the same replica, and each replica's LRU sees a
+// disjoint slice of the hot set. Bodies that do not parse as an instance
+// request (they would 4xx anyway) report ok=false; the balancer falls back
+// to spreading them.
+func RoutingKey(body []byte) (key string, ok bool) {
+	var req instanceRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return "", false
+	}
+	q, err := req.instance()
+	if err != nil {
+		return "", false
+	}
+	return req.Model + "|" + kernelFingerprint(q.Kernel) + "|" + q.Size.String(), true
 }
 
 func vectorSetHash(vs []tunespace.Vector) string {
@@ -944,19 +970,36 @@ type modelInfo struct {
 	Machine            string  `json:"machine,omitempty"`
 }
 
+// handleModels lists the served model set on GET. POST is the SIGHUP
+// equivalent over the wire: it reloads the registry from the store directory
+// and answers with the fresh listing, which is what stencil-lb's
+// -broadcast-reload fans across a fleet. A failed reload keeps the running
+// generation serving and reports 500 with the load error.
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost {
+		if _, err := s.ReloadModels(); err != nil {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusInternalServerError)
+			json.NewEncoder(w).Encode(map[string]any{
+				"error": fmt.Sprintf("reload failed, previous generation still serving: %v", err),
+			})
+			return
+		}
+	}
 	rs := s.reg.snapshot()
 	out := struct {
-		Default         string            `json:"default"`
-		RegistryVersion int64             `json:"registry_version"`
-		Models          []modelInfo       `json:"models"`
-		Skipped         []string          `json:"skipped,omitempty"`
-		Promotions      []store.Promotion `json:"promotions,omitempty"`
+		Default            string            `json:"default"`
+		RegistryVersion    int64             `json:"registry_version"`
+		RegistryGeneration string            `json:"registry_generation"`
+		Models             []modelInfo       `json:"models"`
+		Skipped            []string          `json:"skipped,omitempty"`
+		Promotions         []store.Promotion `json:"promotions,omitempty"`
 	}{
-		Default:         rs.defaultName,
-		RegistryVersion: rs.version,
-		Skipped:         rs.skipped,
-		Promotions:      rs.history,
+		Default:            rs.defaultName,
+		RegistryVersion:    rs.version,
+		RegistryGeneration: rs.generation,
+		Skipped:            rs.skipped,
+		Promotions:         rs.history,
 	}
 	names := append([]string(nil), rs.names...)
 	sort.Strings(names)
@@ -991,8 +1034,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"commit":           s.build.Commit,
 		"go":               s.build.GoVersion,
 		"models":           len(rs.names),
-		"default_model":    rs.defaultName,
-		"registry_version": rs.version,
+		"default_model":       rs.defaultName,
+		"registry_version":    rs.version,
+		"registry_generation": rs.generation,
 		"uptime_seconds":   int64(time.Since(s.start).Seconds()),
 	})
 }
@@ -1004,7 +1048,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	depth, capacity := s.MeasureQueueDepth(), s.MeasureQueueCapacity()
 	draining := s.draining.Load()
-	ready := !draining && len(s.reg.snapshot().names) > 0 && depth < capacity
+	rs := s.reg.snapshot()
+	ready := !draining && len(rs.names) > 0 && depth < capacity
 	code := http.StatusOK
 	if !ready {
 		code = http.StatusServiceUnavailable
@@ -1014,7 +1059,8 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(map[string]any{
 		"ready":                  ready,
 		"draining":               draining,
-		"models":                 len(s.reg.snapshot().names),
+		"models":                 len(rs.names),
+		"registry_generation":    rs.generation,
 		"measure_queue_depth":    depth,
 		"measure_queue_capacity": capacity,
 	})

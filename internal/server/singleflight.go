@@ -2,6 +2,8 @@ package server
 
 import (
 	"context"
+	"fmt"
+	"net/http"
 	"sync"
 )
 
@@ -26,6 +28,16 @@ type flightCall struct {
 	err  error
 }
 
+// errFlightAbandoned is what waiters see when their leader exited without
+// producing a result (fn panicked, or bailed via runtime.Goexit): the key is
+// clean again, so a retry executes fresh. It is a 503 on the wire — the
+// condition is transient by construction, so retrying clients converge.
+var errFlightAbandoned = &httpError{
+	code:       http.StatusServiceUnavailable,
+	msg:        "singleflight: in-flight call abandoned by its leader, retry",
+	retryAfter: 1,
+}
+
 // Do executes fn once per key at a time: concurrent duplicate callers wait
 // for the executing one and receive its result with shared=true. A waiter
 // whose own ctx dies while parked unblocks immediately with the ctx error
@@ -33,6 +45,12 @@ type flightCall struct {
 // key is forgotten — subsequent calls execute again (the response cache, not
 // the flight group, provides lasting reuse). The leader runs fn regardless
 // of ctx; cancellation of the leader is fn's own business.
+//
+// If fn panics, the key is still cleaned up and every waiter unblocks with
+// an error describing the panic — the next call for the key executes fresh —
+// and the panic then resumes in the leader, so the Recover middleware keeps
+// its 500-and-keep-serving semantics. Without that, a panicking leader would
+// strand all coalesced waiters on a poisoned key until their contexts died.
 func (g *flightGroup) Do(ctx context.Context, key string, fn func() ([]byte, error)) (val []byte, err error, shared bool) {
 	g.mu.Lock()
 	if g.calls == nil {
@@ -58,13 +76,36 @@ func (g *flightGroup) Do(ctx context.Context, key string, fn func() ([]byte, err
 	g.calls[key] = c
 	g.mu.Unlock()
 
-	c.val, c.err = fn()
+	// Cleanup runs in a defer so a panicking (or Goexit-ing) fn can never
+	// leave the key poisoned with waiters parked forever: the key is
+	// forgotten and done is closed on every exit path.
+	defer func() {
+		if rec := recover(); rec != nil {
+			c.err = &httpError{
+				code:       http.StatusServiceUnavailable,
+				msg:        fmt.Sprintf("singleflight: leader panicked: %v, retry", rec),
+				retryAfter: 1,
+			}
+			c.val = nil
+			g.forget(key, c)
+			panic(rec)
+		}
+		g.forget(key, c)
+	}()
+	// Pre-poison the result: a leader that exits without ever returning from
+	// fn (runtime.Goexit) hands waiters this error instead of a nil/nil.
+	c.err = errFlightAbandoned
 
+	c.val, c.err = fn()
+	return c.val, c.err, false
+}
+
+// forget removes the call from the table and releases its waiters.
+func (g *flightGroup) forget(key string, c *flightCall) {
 	g.mu.Lock()
 	delete(g.calls, key)
 	g.mu.Unlock()
 	close(c.done)
-	return c.val, c.err, false
 }
 
 // Waiting returns how many callers are currently blocked on in-flight calls.

@@ -1,0 +1,186 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitForWaiters polls until n callers are parked behind in-flight calls.
+func waitForWaiters(t *testing.T, g *flightGroup, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for g.Waiting() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d waiters parked", g.Waiting(), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestFlightLeaderPanicUnblocksWaiters is the regression test for the
+// singleflight panic-hang: before the fix, a panicking leader skipped both
+// the key cleanup and the done-channel close, so every coalesced waiter
+// blocked until its context died (forever, absent a deadline) and the key
+// stayed poisoned. Now the leader's panic must (a) release all N waiters
+// with an error, (b) resume in the leader itself, and (c) leave the key
+// clean so the next call executes fresh.
+func TestFlightLeaderPanicUnblocksWaiters(t *testing.T) {
+	var g flightGroup
+	const waiters = 8
+
+	leaderIn := make(chan struct{})
+	boom := make(chan struct{})
+	leaderPanicked := make(chan any, 1)
+	go func() {
+		defer func() { leaderPanicked <- recover() }()
+		g.Do(context.Background(), "k", func() ([]byte, error) {
+			close(leaderIn)
+			<-boom
+			panic("inference exploded")
+		})
+	}()
+	<-leaderIn
+
+	var wg sync.WaitGroup
+	errs := make([]error, waiters)
+	shareds := make([]bool, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// No deadline on the waiter contexts: before the fix this test
+			// hangs here instead of failing politely.
+			_, err, shared := g.Do(context.Background(), "k", func() ([]byte, error) {
+				t.Error("waiter executed fn while the leader held the key")
+				return nil, nil
+			})
+			errs[i], shareds[i] = err, shared
+		}(i)
+	}
+	waitForWaiters(t, &g, waiters)
+	close(boom)
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("waiters still parked after the leader panicked: key is poisoned")
+	}
+
+	select {
+	case rec := <-leaderPanicked:
+		if rec == nil {
+			t.Fatal("leader did not re-panic (Recover middleware would lose its 500)")
+		}
+		if got := fmt.Sprint(rec); !strings.Contains(got, "inference exploded") {
+			t.Fatalf("leader re-panicked with %q, want the original value", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("leader goroutine never finished")
+	}
+
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("waiter %d got a nil error from a panicked flight", i)
+		}
+		if !strings.Contains(err.Error(), "leader panicked") {
+			t.Fatalf("waiter %d error = %q, want a leader-panicked error", i, err)
+		}
+		var he *httpError
+		if !errors.As(err, &he) || he.code != http.StatusServiceUnavailable {
+			t.Fatalf("waiter %d error %v is not a retryable 503", i, err)
+		}
+		if !shareds[i] {
+			t.Fatalf("waiter %d reported shared=false", i)
+		}
+	}
+
+	// The key must be forgotten, not poisoned: a fresh call executes fn.
+	ran := false
+	val, err, shared := g.Do(context.Background(), "k", func() ([]byte, error) {
+		ran = true
+		return []byte("fresh"), nil
+	})
+	if !ran || err != nil || shared || string(val) != "fresh" {
+		t.Fatalf("post-panic call: ran=%v val=%q err=%v shared=%v, want a fresh execution", ran, val, err, shared)
+	}
+	if g.Waiting() != 0 {
+		t.Fatalf("Waiting() = %d after everything drained", g.Waiting())
+	}
+}
+
+// TestFlightPanicOverHTTP drives the same defect end to end: N coalesced
+// /v1/tune requests behind a leader whose inference panics must all receive
+// an HTTP error promptly (the leader's 500 comes from the Recover
+// middleware, the waiters' 503s from the flight group) — and the server must
+// answer the key normally afterwards.
+func TestFlightPanicOverHTTP(t *testing.T) {
+	s := newTestServer(t)
+	h := s.Handler()
+
+	const waiters = 4
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	first := true
+	s.testHookInfer = func() {
+		if first {
+			first = false
+			once.Do(func() { close(entered) })
+			<-release
+			panic("model blew up")
+		}
+	}
+
+	body := `{"model":"tiny","kernel":"laplacian","size":"96x96x96"}`
+	codes := make(chan int, waiters+1)
+	leaderDone := make(chan any, 1)
+	go func() {
+		defer func() { leaderDone <- recover() }()
+		w, _ := postJSON(t, h, "/v1/tune", body)
+		codes <- w.Code
+	}()
+	<-entered
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w, _ := postJSON(t, h, "/v1/tune", body)
+			codes <- w.Code
+		}()
+	}
+	waitForWaiters(t, &s.flight, waiters)
+	close(release)
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("coalesced requests hung behind the panicked leader")
+	}
+	for i := 0; i < waiters; i++ {
+		if code := <-codes; code != http.StatusServiceUnavailable {
+			t.Fatalf("waiter answered %d, want 503", code)
+		}
+	}
+	// The bare Handler has no Recover middleware, so the leader's panic
+	// reaches our recover — exactly what lets Recover keep its semantics.
+	if rec := <-leaderDone; rec == nil {
+		t.Fatal("leader request did not propagate its panic")
+	}
+
+	// Key is clean: the same request now computes and caches normally.
+	w, _ := postJSON(t, h, "/v1/tune", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("post-panic tune answered %d: %s", w.Code, w.Body.String())
+	}
+}
